@@ -1,0 +1,95 @@
+//! Criterion benchmarks of the simulation engine: how fast the testbed
+//! simulates, which bounds how much paper-scale regeneration costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpv_core::runtime::{run_once, RunSpec};
+use tpv_hw::{CoreResource, MachineConfig};
+use tpv_loadgen::GeneratorSpec;
+use tpv_net::LinkConfig;
+use tpv_services::kv::KvConfig;
+use tpv_services::{ServiceConfig, ServiceKind};
+use tpv_sim::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            let mut rng = SimRng::seed_from_u64(1);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_ns(rng.next_below(1_000_000)), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("latency_histogram_record_100k", |b| {
+        let mut rng = SimRng::seed_from_u64(2);
+        let values: Vec<SimDuration> =
+            (0..100_000).map(|_| SimDuration::from_ns(rng.next_below(10_000_000))).collect();
+        b.iter(|| {
+            let mut h = LatencyHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            h.percentile(99.0)
+        })
+    });
+}
+
+fn bench_core_resource(c: &mut Criterion) {
+    c.bench_function("core_resource_acquire_100k", |b| {
+        let lp = MachineConfig::low_power();
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(3);
+            let env = lp.draw_environment(&mut rng);
+            let mut core = CoreResource::new(&lp, &env);
+            let mut t = SimTime::ZERO;
+            for _ in 0..100_000 {
+                t += SimDuration::from_us(40);
+                core.acquire(t, SimDuration::from_us(2), &mut rng);
+            }
+            core.busy_until()
+        })
+    });
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memcached_run_50ms");
+    group.sample_size(10);
+    for (label, machine) in [("lp", MachineConfig::low_power()), ("hp", MachineConfig::high_performance())] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &machine, |b, client| {
+            let service = ServiceConfig::new(ServiceKind::Memcached(KvConfig {
+                preload_keys: 10_000,
+                ..KvConfig::default()
+            }));
+            let server = MachineConfig::server_baseline();
+            let generator = GeneratorSpec::mutilate();
+            let link = LinkConfig::cloudlab_lan();
+            let spec = RunSpec {
+                service: &service,
+                server: &server,
+                client,
+                generator: &generator,
+                link: &link,
+                qps: 100_000.0,
+                duration: SimDuration::from_ms(50),
+                warmup: SimDuration::from_ms(5),
+            };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_once(&spec, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_histogram, bench_core_resource, bench_full_run);
+criterion_main!(benches);

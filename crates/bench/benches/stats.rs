@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the §III statistics toolkit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpv_sim::dist::{Normal, Sampler};
+use tpv_sim::SimRng;
+use tpv_stats::ci::{nonparametric_median_ci, parametric_mean_ci};
+use tpv_stats::normality::{anderson_darling, shapiro_wilk};
+use tpv_stats::repetitions::{confirm, ConfirmConfig};
+
+fn samples(n: usize, seed: u64) -> Vec<f64> {
+    let d = Normal::new(100.0, 3.0);
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..n).map(|_| d.sample(&mut rng)).collect()
+}
+
+fn bench_shapiro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapiro_wilk");
+    for n in [50usize, 500, 5000] {
+        let xs = samples(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &xs, |b, xs| {
+            b.iter(|| shapiro_wilk(xs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_anderson_darling(c: &mut Criterion) {
+    let xs = samples(500, 2);
+    c.bench_function("anderson_darling_500", |b| b.iter(|| anderson_darling(&xs).unwrap()));
+}
+
+fn bench_cis(c: &mut Criterion) {
+    let xs = samples(50, 3);
+    c.bench_function("nonparametric_median_ci_50", |b| {
+        b.iter(|| nonparametric_median_ci(&xs, 0.95).unwrap())
+    });
+    c.bench_function("parametric_mean_ci_50", |b| b.iter(|| parametric_mean_ci(&xs, 0.95).unwrap()));
+}
+
+fn bench_confirm(c: &mut Criterion) {
+    // The paper's CONFIRM setting: 50 samples, c=200 shuffles.
+    let xs = samples(50, 4);
+    c.bench_function("confirm_50_samples_200_shuffles", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(5);
+            confirm(&xs, &ConfirmConfig::default(), &mut rng)
+        })
+    });
+}
+
+criterion_group!(benches, bench_shapiro, bench_anderson_darling, bench_cis, bench_confirm);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Runs the complete regeneration suite — every table and figure — by
+//! invoking the per-artefact binaries in sequence. Respects the same
+//! `TPV_RUNS` / `TPV_RUN_SECS` / `TPV_SEED` environment variables.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1_survey",
+        "table2_configs",
+        "table3_scenarios",
+        "fig2_memcached_smt",
+        "fig3_memcached_c1e",
+        "fig4_hdsearch",
+        "fig5_stddev",
+        "fig6_socialnet",
+        "fig7_synthetic",
+        "fig8_shapiro",
+        "fig9_histogram",
+        "table4_iterations",
+    ];
+    let self_path = std::env::current_exe().expect("cannot locate this binary");
+    let dir = self_path.parent().expect("binary has no parent directory");
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n================================================================");
+        println!("running {bin}");
+        println!("================================================================\n");
+        let status = Command::new(dir.join(bin)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("[all] {bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!("[all] failed to launch {bin}: {e}");
+                failures.push(bin);
+            }
+        }
+    }
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!("all {} artefacts regenerated; CSVs in results/", bins.len());
+    } else {
+        println!("{} artefacts FAILED: {failures:?}", failures.len());
+        std::process::exit(1);
+    }
+}

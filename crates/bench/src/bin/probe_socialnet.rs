@@ -1,0 +1,58 @@
+//! Diagnostic probe for the Social Network service: drives it directly at
+//! a fixed rate and reports per-stage utilisation and completion spans.
+
+use tpv_hw::MachineConfig;
+use tpv_services::request::StageOutcome;
+use tpv_services::socialnet::{SocialConfig, SocialNetworkService};
+use tpv_services::InterferenceProfile;
+use tpv_sim::dist::{Exponential, Sampler};
+use tpv_sim::{SimDuration, SimRng, SimTime};
+
+fn main() {
+    for qps in [100.0f64, 300.0, 600.0] {
+        for (label, interference) in [
+            ("quiet", InterferenceProfile::none()),
+            ("spiky", InterferenceProfile::quiet_server()),
+        ] {
+            let mut rng = SimRng::seed_from_u64(7);
+            let server = MachineConfig::server_baseline();
+            let env = server.draw_environment(&mut rng);
+            let mut svc = SocialNetworkService::new(
+                SocialConfig::default(),
+                &server,
+                &env,
+                &interference,
+                SimDuration::from_secs(2),
+                &mut rng,
+            );
+            let gap = Exponential::with_mean(1e6 / qps);
+            let mut t = SimTime::ZERO;
+            let mut total = SimDuration::ZERO;
+            let mut worst = SimDuration::ZERO;
+            let mut n = 0u64;
+            while t < SimTime::from_secs(2) {
+                t += gap.sample_us(&mut rng);
+                let desc = svc.next_descriptor(&mut rng);
+                let conn = (n % 20) as usize;
+                let mut out = svc.admit(conn, &desc, t, &mut rng);
+                let done = loop {
+                    match out {
+                        StageOutcome::Done(d) => break d,
+                        StageOutcome::Continue { at, stage, ctx } => {
+                            out = svc.resume(conn, &desc, stage, ctx, at, &mut rng);
+                        }
+                    }
+                };
+                let span = done.response_wire.since(t);
+                total += span;
+                worst = worst.max(span);
+                n += 1;
+            }
+            println!(
+                "qps {qps:>5} {label}: n={n} avg={:.2}ms max={:.2}ms",
+                total.as_ms() / n as f64,
+                worst.as_ms()
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # tpv-core — the experiment framework
+//!
+//! This crate is the paper's contribution turned into a library: given a
+//! benchmark service, a *client-side* hardware configuration, a server
+//! configuration and a load sweep, it runs the full simulated testbed and
+//! answers the paper's questions —
+//!
+//! * What do the end-to-end measurements look like? ([`runtime`],
+//!   [`experiment`])
+//! * Do two client configurations lead to **different conclusions** about
+//!   the same server feature? ([`analysis`], Findings 1–2)
+//! * How many repetitions does each configuration need, and how long will
+//!   the evaluation take? ([`analysis::iteration_estimate`], §V-C, Table IV)
+//! * How *should* the client be configured? ([`recommend`], §VI)
+//!
+//! [`scenarios`] packages the paper's §V studies ready-to-run, [`survey`]
+//! holds the Table I literature survey, and [`report`] renders
+//! tables/series in the paper's formats.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod experiment;
+pub mod fidelity;
+pub mod recommend;
+pub mod report;
+pub mod runtime;
+pub mod scenarios;
+pub mod survey;
+
+pub use analysis::{Comparison, Summary, Verdict};
+pub use experiment::{Benchmark, Experiment, ExperimentResults, ServerScenario};
+pub use runtime::{run_once, run_traced, RunResult, RunSpec, RunTrace};

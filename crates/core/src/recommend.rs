@@ -1,0 +1,185 @@
+//! The configuration recommendations of §VI, as an executable engine.
+//!
+//! Given how a workload generator is built (its §II taxonomy) and what is
+//! known about the target production environment, produce the paper's
+//! advice: how to configure the client machines, and which repetition
+//! methodology to use.
+
+use tpv_hw::MachineConfig;
+use tpv_loadgen::{GeneratorSpec, TimingMode};
+use tpv_stats::normality::shapiro_wilk;
+
+/// What is known about the production environment the study should
+/// represent.
+#[derive(Debug, Clone)]
+pub enum TargetEnvironment {
+    /// The production client configuration is known.
+    Known(Box<MachineConfig>),
+    /// Unknown.
+    Unknown,
+}
+
+/// How to configure the client machines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientTuning {
+    /// Tune the client for performance (C-states off, performance
+    /// governor, fixed uncore): §VI's advice for time-sensitive
+    /// generators.
+    TuneForPerformance,
+    /// Match the target environment's configuration: §VI's advice for
+    /// time-insensitive generators with a known target.
+    MatchTarget(Box<MachineConfig>),
+    /// Explore the configuration space (homogeneous and heterogeneous
+    /// client/server combinations): the advice when the target is
+    /// unknown.
+    ExploreSpace,
+}
+
+/// Which repetition-count methodology applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationMethod {
+    /// Jain's parametric Eq. (3) — valid when samples look normal.
+    Parametric,
+    /// CONFIRM — the non-parametric fallback.
+    Confirm,
+    /// No samples provided: run a pilot, test normality, then choose.
+    PilotNeeded,
+}
+
+/// The engine's output.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// How to configure the client machines.
+    pub tuning: ClientTuning,
+    /// Which repetition methodology to use.
+    pub iteration_method: IterationMethod,
+    /// Caveats the paper attaches to the advice.
+    pub caveats: Vec<String>,
+}
+
+/// Produces the §VI recommendation for a generator and target
+/// environment, optionally using pilot samples to pick the repetition
+/// method.
+pub fn recommend(
+    generator: &GeneratorSpec,
+    target: &TargetEnvironment,
+    pilot_samples: Option<&[f64]>,
+) -> Recommendation {
+    let mut caveats = Vec::new();
+
+    let tuning = match generator.timing {
+        TimingMode::BlockWait => {
+            // Time-sensitive: the client must be tuned so sends leave on
+            // schedule.
+            if let TargetEnvironment::Known(cfg) = target {
+                if **cfg != MachineConfig::high_performance() {
+                    caveats.push(
+                        "the tuned client deviates from the target production configuration: \
+                         end-to-end metrics may over- or under-estimate production behaviour, \
+                         affecting resource-provisioning conclusions"
+                            .to_string(),
+                    );
+                }
+            } else {
+                caveats.push(
+                    "target environment unknown: verify how closely the performance-tuned \
+                     client reflects production before provisioning from these numbers"
+                        .to_string(),
+                );
+            }
+            ClientTuning::TuneForPerformance
+        }
+        TimingMode::BusyWait => match target {
+            // Time-insensitive: the workload is safe either way, so match
+            // the environment being modelled.
+            TargetEnvironment::Known(cfg) => ClientTuning::MatchTarget(cfg.clone()),
+            TargetEnvironment::Unknown => {
+                caveats.push(
+                    "evaluate under several client/server configuration combinations \
+                     (homogeneous and heterogeneous) since the target is unknown"
+                        .to_string(),
+                );
+                ClientTuning::ExploreSpace
+            }
+        },
+    };
+
+    let iteration_method = match pilot_samples {
+        None => IterationMethod::PilotNeeded,
+        Some(xs) => match shapiro_wilk(xs) {
+            Ok(r) if !r.rejects_normality(0.05) => IterationMethod::Parametric,
+            _ => IterationMethod::Confirm,
+        },
+    };
+
+    Recommendation { tuning, iteration_method, caveats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpv_sim::SimRng;
+
+    #[test]
+    fn time_sensitive_generators_get_performance_tuning() {
+        let rec = recommend(&GeneratorSpec::mutilate(), &TargetEnvironment::Unknown, None);
+        assert_eq!(rec.tuning, ClientTuning::TuneForPerformance);
+        assert_eq!(rec.iteration_method, IterationMethod::PilotNeeded);
+        assert!(!rec.caveats.is_empty(), "unknown target must carry a caveat");
+    }
+
+    #[test]
+    fn time_sensitive_with_divergent_target_warns_about_representativeness() {
+        let lp_target = TargetEnvironment::Known(Box::new(MachineConfig::low_power()));
+        let rec = recommend(&GeneratorSpec::mutilate(), &lp_target, None);
+        assert_eq!(rec.tuning, ClientTuning::TuneForPerformance);
+        assert!(rec.caveats.iter().any(|c| c.contains("provisioning")), "{:?}", rec.caveats);
+    }
+
+    #[test]
+    fn time_sensitive_with_matching_target_has_no_caveat() {
+        let hp_target = TargetEnvironment::Known(Box::new(MachineConfig::high_performance()));
+        let rec = recommend(&GeneratorSpec::mutilate(), &hp_target, None);
+        assert!(rec.caveats.is_empty());
+    }
+
+    #[test]
+    fn time_insensitive_matches_known_target() {
+        let target_cfg = MachineConfig::low_power();
+        let rec = recommend(
+            &GeneratorSpec::microsuite_client(),
+            &TargetEnvironment::Known(Box::new(target_cfg)),
+            None,
+        );
+        match rec.tuning {
+            ClientTuning::MatchTarget(cfg) => assert_eq!(*cfg, target_cfg),
+            other => panic!("expected MatchTarget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn time_insensitive_with_unknown_target_explores() {
+        let rec = recommend(&GeneratorSpec::microsuite_client(), &TargetEnvironment::Unknown, None);
+        assert_eq!(rec.tuning, ClientTuning::ExploreSpace);
+        assert!(rec.caveats.iter().any(|c| c.contains("heterogeneous")));
+    }
+
+    #[test]
+    fn iteration_method_follows_normality() {
+        let mut rng = SimRng::seed_from_u64(1);
+        // Normal-looking pilot → parametric.
+        let normal: Vec<f64> = (0..50)
+            .map(|_| 100.0 + tpv_sim::dist::Normal::standard_sample(&mut rng))
+            .collect();
+        let rec = recommend(&GeneratorSpec::mutilate(), &TargetEnvironment::Unknown, Some(&normal));
+        assert_eq!(rec.iteration_method, IterationMethod::Parametric);
+        // Heavy-tailed pilot → CONFIRM.
+        let skewed: Vec<f64> = (1..=50).map(|i| (i as f64 / 6.0).exp()).collect();
+        let rec2 = recommend(&GeneratorSpec::mutilate(), &TargetEnvironment::Unknown, Some(&skewed));
+        assert_eq!(rec2.iteration_method, IterationMethod::Confirm);
+        // Degenerate pilot (all equal) → CONFIRM (SW undefined).
+        let flat = vec![5.0; 50];
+        let rec3 = recommend(&GeneratorSpec::mutilate(), &TargetEnvironment::Unknown, Some(&flat));
+        assert_eq!(rec3.iteration_method, IterationMethod::Confirm);
+    }
+}

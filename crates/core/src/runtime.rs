@@ -1,0 +1,379 @@
+//! The composed testbed runtime: one `run_once` call = one paper "run".
+//!
+//! Wires the generator ([`tpv_loadgen::ClientSide`]), the network
+//! ([`tpv_net`]) and the service ([`tpv_services::ServiceInstance`])
+//! through a deterministic event loop. Each run draws a fresh
+//! [`tpv_hw::RunEnvironment`] for the client and the server — the paper's
+//! "in between runs we reset the environment" — so per-run samples are
+//! iid by construction.
+
+use tpv_hw::MachineConfig;
+use tpv_loadgen::{ArrivalProcess, ClientSide, GeneratorSpec, LoopMode};
+use tpv_net::{Connection, Link, LinkConfig};
+use tpv_services::{RequestDescriptor, ServiceConfig, ServiceInstance};
+use tpv_sim::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime};
+
+/// Everything needed to execute one run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec<'a> {
+    /// The benchmark service and its interference profile.
+    pub service: &'a ServiceConfig,
+    /// Server machine configuration.
+    pub server: &'a MachineConfig,
+    /// Client machine configuration — the paper's variable under study.
+    pub client: &'a MachineConfig,
+    /// Workload generator deployment.
+    pub generator: &'a GeneratorSpec,
+    /// Network between client and server machines.
+    pub link: &'a LinkConfig,
+    /// Offered load in queries per second.
+    pub qps: f64,
+    /// Measured run length (the paper uses 2-minute runs; benches scale
+    /// this down — see EXPERIMENTS.md).
+    pub duration: SimDuration,
+    /// Leading portion of the run excluded from measurement.
+    pub warmup: SimDuration,
+}
+
+/// The measurements of one run — one iid sample of each metric (§III).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Mean end-to-end latency over recorded requests.
+    pub avg: SimDuration,
+    /// Median end-to-end latency.
+    pub p50: SimDuration,
+    /// 99th-percentile latency — the paper's headline tail metric.
+    pub p99: SimDuration,
+    /// Largest recorded latency.
+    pub max: SimDuration,
+    /// Within-run standard deviation of request latencies.
+    pub std_dev: SimDuration,
+    /// Recorded requests.
+    pub samples: u64,
+    /// Load actually achieved (responses per measured second).
+    pub achieved_qps: f64,
+    /// Load requested.
+    pub target_qps: f64,
+    /// Fraction of sends that slipped their schedule (workload-fidelity
+    /// diagnostic).
+    pub late_send_fraction: f64,
+    /// Mean slip between scheduled and actual send times.
+    pub mean_send_slip: SimDuration,
+    /// Client-thread wake-ups per C-state `[C0, C1, C1E, C6]`.
+    pub client_wakes: [u64; 4],
+    /// Estimated client generator-thread energy over the run, in
+    /// core-seconds of C0-equivalent power.
+    pub client_energy_core_secs: f64,
+}
+
+impl RunResult {
+    /// Mean latency in microseconds (report convenience).
+    pub fn avg_us(&self) -> f64 {
+        self.avg.as_us()
+    }
+
+    /// p99 latency in microseconds (report convenience).
+    pub fn p99_us(&self) -> f64 {
+        self.p99.as_us()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    SendDue { conn: u32 },
+    ServerArrival { conn: u32, desc: RequestDescriptor, stamp: SimTime },
+    ServiceStage { conn: u32, desc: RequestDescriptor, stamp: SimTime, stage: u8, ctx: tpv_services::request::StageCtx },
+    ClientDelivery { conn: u32, stamp: SimTime },
+}
+
+/// A bounded trace of one run, for workload-fidelity diagnostics
+/// (Lancet-style self-checks; see [`crate::fidelity`]).
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    /// `(connection, wire departure time)` of traced sends, in event
+    /// order.
+    pub wire_departures: Vec<(u32, SimTime)>,
+    /// Measured latencies (µs) in completion order.
+    pub latencies_us: Vec<f64>,
+    /// The scheduled mean per-connection inter-arrival gap (µs).
+    pub scheduled_gap_us: f64,
+}
+
+/// Executes one run of the testbed with the given seed.
+///
+/// Deterministic: the same `(spec, seed)` produces bit-identical results.
+///
+/// # Panics
+///
+/// Panics if `qps` is not positive or `warmup >= duration`.
+pub fn run_once(spec: &RunSpec<'_>, seed: u64) -> RunResult {
+    run_traced(spec, seed, 0).0
+}
+
+/// Like [`run_once`], additionally collecting up to `max_trace` traced
+/// sends and latencies for fidelity diagnostics.
+///
+/// # Panics
+///
+/// Panics if `qps` is not positive or `warmup >= duration`.
+pub fn run_traced(spec: &RunSpec<'_>, seed: u64, max_trace: usize) -> (RunResult, RunTrace) {
+    assert!(spec.qps > 0.0, "offered load must be positive, got {}", spec.qps);
+    assert!(spec.warmup < spec.duration, "warmup must be shorter than the run");
+
+    let master = SimRng::seed_from_u64(seed);
+    let mut arrival_rng = master.fork(1);
+    let mut client_rng = master.fork(2);
+    let mut service_rng = master.fork(3);
+    let mut net_rng = master.fork(4);
+    let mut env_rng = master.fork(5);
+
+    // Reset the environment: fresh per-run hardware state (§III iid).
+    let client_env = spec.client.draw_environment(&mut env_rng);
+    let server_env = spec.server.draw_environment(&mut env_rng);
+
+    let mut client = ClientSide::new(*spec.generator, spec.client, &client_env);
+    let mut service = ServiceInstance::new(spec.service, spec.server, &server_env, spec.duration, &mut service_rng);
+    let link = Link::new(spec.link, &mut net_rng);
+
+    let n_conns = spec.generator.connections.max(1) as usize;
+    let mut conns: Vec<Connection> = (0..n_conns).map(Connection::new).collect();
+    let per_conn_gap = SimDuration::from_secs_f64(n_conns as f64 / spec.qps);
+    let arrivals = ArrivalProcess::new(spec.generator.arrival, per_conn_gap);
+
+    let mut queue: EventQueue<Event> = EventQueue::with_capacity(4 * n_conns);
+    // Stagger connection start phases uniformly across one mean gap.
+    for conn in 0..n_conns {
+        let phase = per_conn_gap.scale(arrival_rng.next_f64());
+        queue.schedule(SimTime::ZERO + phase, Event::SendDue { conn: conn as u32 });
+    }
+
+    let window_start = SimTime::ZERO + spec.warmup;
+    let window_end = SimTime::ZERO + spec.duration;
+    // Runs drain in-flight requests after the send window closes, with a
+    // hard horizon to bound pathological backlogs.
+    let horizon = window_end + spec.duration + SimDuration::from_secs(5);
+
+    let mut hist = LatencyHistogram::new();
+    let pom = spec.generator.pom;
+    let mut trace = RunTrace {
+        wire_departures: Vec::with_capacity(max_trace.min(1 << 20)),
+        latencies_us: Vec::with_capacity(max_trace.min(1 << 20)),
+        scheduled_gap_us: per_conn_gap.as_us(),
+    };
+
+    while let Some((now, event)) = queue.pop() {
+        if now > horizon {
+            break;
+        }
+        match event {
+            Event::SendDue { conn } => {
+                let desc = service.next_descriptor(&mut service_rng);
+                let plan = client.plan_send(conn as usize, now, &mut client_rng);
+                let raw = plan.wire + link.one_way(&mut net_rng);
+                let arrival = conns[conn as usize].deliver_to_server(raw);
+                if trace.wire_departures.len() < max_trace && now >= window_start {
+                    trace.wire_departures.push((conn, plan.wire));
+                }
+                queue.schedule(arrival, Event::ServerArrival { conn, desc, stamp: plan.stamp });
+                if spec.generator.loop_mode == LoopMode::Open {
+                    let next = now + arrivals.next_gap(&mut arrival_rng);
+                    if next < window_end {
+                        queue.schedule(next, Event::SendDue { conn });
+                    }
+                }
+            }
+            Event::ServerArrival { conn, desc, stamp } => {
+                match service.admit(conn as usize, &desc, now, &mut service_rng) {
+                    tpv_services::request::StageOutcome::Done(done) => {
+                        let raw = done.response_wire + link.one_way(&mut net_rng);
+                        let nic = link.coalesce(conns[conn as usize].deliver_to_client(raw));
+                        queue.schedule(nic, Event::ClientDelivery { conn, stamp });
+                    }
+                    tpv_services::request::StageOutcome::Continue { at, stage, ctx } => {
+                        queue.schedule(at, Event::ServiceStage { conn, desc, stamp, stage, ctx });
+                    }
+                }
+            }
+            Event::ServiceStage { conn, desc, stamp, stage, ctx } => {
+                match service.resume(conn as usize, &desc, stage, ctx, now, &mut service_rng) {
+                    tpv_services::request::StageOutcome::Done(done) => {
+                        let raw = done.response_wire + link.one_way(&mut net_rng);
+                        let nic = link.coalesce(conns[conn as usize].deliver_to_client(raw));
+                        queue.schedule(nic, Event::ClientDelivery { conn, stamp });
+                    }
+                    tpv_services::request::StageOutcome::Continue { at, stage, ctx } => {
+                        queue.schedule(at, Event::ServiceStage { conn, desc, stamp, stage, ctx });
+                    }
+                }
+            }
+            Event::ClientDelivery { conn, stamp } => {
+                let recv = client.receive(conn as usize, now, &mut client_rng);
+                let measured = recv.stamp(pom).since(stamp);
+                if stamp >= window_start && stamp < window_end {
+                    hist.record(measured);
+                    if trace.latencies_us.len() < max_trace {
+                        trace.latencies_us.push(measured.as_us());
+                    }
+                }
+                if spec.generator.loop_mode == LoopMode::Closed {
+                    let next = recv.app + spec.generator.think_time;
+                    if next < window_end {
+                        queue.schedule(next, Event::SendDue { conn });
+                    }
+                }
+            }
+        }
+    }
+
+    let measured_secs = (spec.duration - spec.warmup).as_secs();
+    let result = RunResult {
+        avg: hist.mean(),
+        p50: hist.median(),
+        p99: hist.percentile(99.0),
+        max: hist.max(),
+        std_dev: hist.std_dev(),
+        samples: hist.count(),
+        achieved_qps: hist.count() as f64 / measured_secs,
+        target_qps: spec.qps,
+        late_send_fraction: client.late_send_fraction(),
+        mean_send_slip: client.mean_send_slip(),
+        client_wakes: client.wakes_by_state(),
+        client_energy_core_secs: client.energy_core_secs(window_end),
+    };
+    (result, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpv_services::kv::KvConfig;
+    use tpv_services::synthetic::SyntheticConfig;
+    use tpv_services::ServiceKind;
+
+    fn kv_service() -> ServiceConfig {
+        ServiceConfig::without_interference(ServiceKind::Memcached(KvConfig {
+            preload_keys: 2_000,
+            ..KvConfig::default()
+        }))
+    }
+
+    fn base_spec<'a>(
+        service: &'a ServiceConfig,
+        client: &'a MachineConfig,
+        server: &'a MachineConfig,
+        generator: &'a GeneratorSpec,
+        link: &'a LinkConfig,
+        qps: f64,
+    ) -> RunSpec<'a> {
+        RunSpec {
+            service,
+            server,
+            client,
+            generator,
+            link,
+            qps,
+            duration: SimDuration::from_ms(60),
+            warmup: SimDuration::from_ms(10),
+        }
+    }
+
+    #[test]
+    fn run_produces_samples_near_target_rate() {
+        let service = kv_service();
+        let client = MachineConfig::high_performance();
+        let server = MachineConfig::server_baseline();
+        let generator = GeneratorSpec::mutilate();
+        let link = LinkConfig::cloudlab_lan();
+        let spec = base_spec(&service, &client, &server, &generator, &link, 100_000.0);
+        let r = run_once(&spec, 1);
+        assert!(r.samples > 3_000, "samples {}", r.samples);
+        let ratio = r.achieved_qps / r.target_qps;
+        assert!((0.85..1.15).contains(&ratio), "achieved/target {ratio}");
+        assert!(r.avg > SimDuration::from_us(20));
+        assert!(r.p99 >= r.p50 && r.p50 >= SimDuration::ZERO);
+        assert!(r.max >= r.p99);
+    }
+
+    #[test]
+    fn identical_seed_is_bit_identical() {
+        let service = kv_service();
+        let client = MachineConfig::low_power();
+        let server = MachineConfig::server_baseline();
+        let generator = GeneratorSpec::mutilate();
+        let link = LinkConfig::cloudlab_lan();
+        let spec = base_spec(&service, &client, &server, &generator, &link, 50_000.0);
+        let a = run_once(&spec, 42);
+        let b = run_once(&spec, 42);
+        assert_eq!(a, b);
+        let c = run_once(&spec, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lp_client_measures_higher_latency_than_hp() {
+        // Finding 1 in miniature: same server, same load, different
+        // client config ⇒ different measurements.
+        let service = kv_service();
+        let server = MachineConfig::server_baseline();
+        let generator = GeneratorSpec::mutilate();
+        let link = LinkConfig::cloudlab_lan();
+        let lp_cfg = MachineConfig::low_power();
+        let hp_cfg = MachineConfig::high_performance();
+        let lp = run_once(&base_spec(&service, &lp_cfg, &server, &generator, &link, 100_000.0), 7);
+        let hp = run_once(&base_spec(&service, &hp_cfg, &server, &generator, &link, 100_000.0), 7);
+        assert!(
+            lp.avg.as_us() > hp.avg.as_us() * 1.3,
+            "LP {} vs HP {}",
+            lp.avg,
+            hp.avg
+        );
+        assert!(lp.p99 > hp.p99);
+        // LP slips its sends; HP does not.
+        assert!(lp.mean_send_slip > hp.mean_send_slip);
+        // LP threads take deep sleeps.
+        assert!(lp.client_wakes[2] + lp.client_wakes[3] > 0);
+    }
+
+    #[test]
+    fn closed_loop_bounds_outstanding_requests() {
+        let service = ServiceConfig::without_interference(ServiceKind::Synthetic(SyntheticConfig::default()));
+        let client = MachineConfig::high_performance();
+        let server = MachineConfig::server_baseline();
+        let generator = GeneratorSpec::mutilate().closed_loop(SimDuration::from_us(100));
+        let link = LinkConfig::cloudlab_lan();
+        // qps is only the initial pacing for closed loops.
+        let spec = base_spec(&service, &client, &server, &generator, &link, 10_000.0);
+        let r = run_once(&spec, 3);
+        assert!(r.samples > 100);
+        // With 160 connections, ~65 µs RTT+service and 100 µs think time,
+        // the closed loop self-limits below ~1M QPS.
+        assert!(r.achieved_qps < 1_200_000.0);
+    }
+
+    #[test]
+    fn warmup_requests_are_excluded() {
+        let service = kv_service();
+        let client = MachineConfig::high_performance();
+        let server = MachineConfig::server_baseline();
+        let generator = GeneratorSpec::mutilate();
+        let link = LinkConfig::cloudlab_lan();
+        let mut spec = base_spec(&service, &client, &server, &generator, &link, 100_000.0);
+        let full = run_once(&spec, 9);
+        spec.warmup = SimDuration::from_ms(30);
+        let trimmed = run_once(&spec, 9);
+        assert!(trimmed.samples < full.samples);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup must be shorter")]
+    fn bad_warmup_panics() {
+        let service = kv_service();
+        let client = MachineConfig::high_performance();
+        let server = MachineConfig::server_baseline();
+        let generator = GeneratorSpec::mutilate();
+        let link = LinkConfig::cloudlab_lan();
+        let mut spec = base_spec(&service, &client, &server, &generator, &link, 1_000.0);
+        spec.warmup = spec.duration;
+        run_once(&spec, 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The literature survey of Table I.
+//!
+//! "Table I surveys the client- and server-side hardware configuration in
+//! recent publications (from the years 2021, 2022, and 2023) across
+//! various system and architecture conferences, including ISPASS, IISWC
+//! and MICRO. We find that only 10 % of the papers studied specify the
+//! client-side hardware configuration."
+//!
+//! The paper does not name the surveyed publications; entries here are
+//! anonymized (venue class + year) and reproduce the table's counts
+//! exactly: 0 client-only, 8 server-only, 2 both, 10 none — 20 total.
+
+/// What a publication's experimental-setup section characterizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Characterization {
+    /// Client hardware only.
+    ClientOnly,
+    /// Server hardware only.
+    ServerOnly,
+    /// Both client and server hardware.
+    ClientAndServer,
+    /// Neither.
+    None,
+}
+
+impl std::fmt::Display for Characterization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Characterization::ClientOnly => write!(f, "Client only"),
+            Characterization::ServerOnly => write!(f, "Server only"),
+            Characterization::ClientAndServer => write!(f, "Client and server"),
+            Characterization::None => write!(f, "None"),
+        }
+    }
+}
+
+/// An anonymized surveyed publication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurveyedPaper {
+    /// Publication year (2021–2023 in the paper's survey).
+    pub year: u16,
+    /// Venue class (systems/architecture conference).
+    pub venue: &'static str,
+    /// What its evaluation section characterizes.
+    pub characterization: Characterization,
+}
+
+/// The 20 surveyed publications (anonymized).
+pub fn surveyed_papers() -> Vec<SurveyedPaper> {
+    use Characterization::*;
+    let spec: [(u16, &'static str, Characterization); 20] = [
+        (2021, "MICRO", ServerOnly),
+        (2021, "IISWC", ServerOnly),
+        (2021, "ISPASS", None),
+        (2021, "MICRO", None),
+        (2021, "IISWC", ClientAndServer),
+        (2021, "ISPASS", ServerOnly),
+        (2021, "MICRO", None),
+        (2022, "IISWC", ServerOnly),
+        (2022, "ISPASS", None),
+        (2022, "MICRO", ServerOnly),
+        (2022, "IISWC", None),
+        (2022, "ISPASS", ServerOnly),
+        (2022, "MICRO", None),
+        (2022, "IISWC", ClientAndServer),
+        (2023, "ISPASS", None),
+        (2023, "MICRO", ServerOnly),
+        (2023, "IISWC", None),
+        (2023, "ISPASS", ServerOnly),
+        (2023, "MICRO", None),
+        (2023, "IISWC", None),
+    ];
+    spec.iter()
+        .map(|&(year, venue, characterization)| SurveyedPaper { year, venue, characterization })
+        .collect()
+}
+
+/// Table I: counts per characterization.
+pub fn table_i_counts() -> Vec<(Characterization, usize)> {
+    let papers = surveyed_papers();
+    let count = |c: Characterization| papers.iter().filter(|p| p.characterization == c).count();
+    vec![
+        (Characterization::ClientOnly, count(Characterization::ClientOnly)),
+        (Characterization::ServerOnly, count(Characterization::ServerOnly)),
+        (Characterization::ClientAndServer, count(Characterization::ClientAndServer)),
+        (Characterization::None, count(Characterization::None)),
+    ]
+}
+
+/// The survey's headline: the fraction of papers specifying the
+/// client-side configuration.
+pub fn client_specified_fraction() -> f64 {
+    let papers = surveyed_papers();
+    let specified = papers
+        .iter()
+        .filter(|p| {
+            matches!(
+                p.characterization,
+                Characterization::ClientOnly | Characterization::ClientAndServer
+            )
+        })
+        .count();
+    specified as f64 / papers.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_table_i_exactly() {
+        let counts = table_i_counts();
+        assert_eq!(counts[0], (Characterization::ClientOnly, 0));
+        assert_eq!(counts[1], (Characterization::ServerOnly, 8));
+        assert_eq!(counts[2], (Characterization::ClientAndServer, 2));
+        assert_eq!(counts[3], (Characterization::None, 10));
+        let total: usize = counts.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn ten_percent_specify_the_client() {
+        assert!((client_specified_fraction() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survey_covers_2021_to_2023() {
+        let papers = surveyed_papers();
+        assert!(papers.iter().all(|p| (2021..=2023).contains(&p.year)));
+        let venues: std::collections::HashSet<_> = papers.iter().map(|p| p.venue).collect();
+        assert!(venues.contains("ISPASS") && venues.contains("IISWC") && venues.contains("MICRO"));
+    }
+
+    #[test]
+    fn display_names_match_the_table() {
+        assert_eq!(Characterization::ClientAndServer.to_string(), "Client and server");
+        assert_eq!(Characterization::None.to_string(), "None");
+    }
+}

@@ -1,0 +1,77 @@
+//! The scheduler tick (Table II "Tickless", the `nohz` kernel knob).
+//!
+//! A non-tickless kernel interrupts every core periodically (CONFIG_HZ,
+//! typically 250 Hz → 4 ms, or 1000 Hz → 1 ms) even when busy, stealing a
+//! few microseconds each time. Table II runs both clients with tickless
+//! *off* (ticks present) and the server with tickless *on*.
+
+use serde::{Deserialize, Serialize};
+use tpv_sim::SimDuration;
+
+/// Scheduler-tick configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickConfig {
+    /// Whether the kernel omits ticks on busy/idle cores (`nohz_full`).
+    pub tickless: bool,
+    /// Tick period when ticks are present (1 ms for CONFIG_HZ=1000).
+    pub period: SimDuration,
+    /// CPU time stolen by one tick.
+    pub cost: SimDuration,
+}
+
+impl TickConfig {
+    /// Ticks present (clients in Table II): 1 kHz, 3 µs per tick.
+    pub fn ticking() -> Self {
+        TickConfig { tickless: false, period: SimDuration::from_ms(1), cost: SimDuration::from_us(3) }
+    }
+
+    /// Tickless (the server in Table II).
+    pub fn tickless() -> Self {
+        TickConfig { tickless: true, period: SimDuration::from_ms(1), cost: SimDuration::ZERO }
+    }
+
+    /// Multiplicative stretch applied to CPU work to account for tick
+    /// steals (1.0 when tickless).
+    pub fn work_stretch(&self) -> f64 {
+        if self.tickless || self.period.is_zero() {
+            1.0
+        } else {
+            1.0 + self.cost.as_ns() as f64 / self.period.as_ns() as f64
+        }
+    }
+}
+
+impl Default for TickConfig {
+    fn default() -> Self {
+        TickConfig::ticking()
+    }
+}
+
+impl std::fmt::Display for TickConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", if self.tickless { "on" } else { "off" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickless_is_free() {
+        assert_eq!(TickConfig::tickless().work_stretch(), 1.0);
+    }
+
+    #[test]
+    fn ticking_steals_a_fraction() {
+        let s = TickConfig::ticking().work_stretch();
+        assert!((s - 1.003).abs() < 1e-9, "stretch {s}");
+    }
+
+    #[test]
+    fn display_matches_table_ii_convention() {
+        // Table II prints the *tickless* row as on/off.
+        assert_eq!(TickConfig::tickless().to_string(), "on");
+        assert_eq!(TickConfig::ticking().to_string(), "off");
+    }
+}

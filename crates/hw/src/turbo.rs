@@ -1,0 +1,128 @@
+//! Turbo mode (MSR `0x1a0` in the paper's methodology).
+//!
+//! Turbo lets cores exceed nominal frequency "under certain conditions
+//! (i.e., thermal capacity, number of active cores)". Both conditions are
+//! modelled: the achievable frequency falls with the number of active
+//! cores (the published bin ladder shape) and wanders run to run with the
+//! thermal budget — one of the reasons repeated runs of a *tuned* system
+//! still differ (§V-C).
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::CpuSpec;
+
+/// Turbo configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TurboConfig {
+    /// Whether turbo is enabled (Table II: on for both clients, off for
+    /// the server baseline).
+    pub enabled: bool,
+}
+
+impl TurboConfig {
+    /// Turbo on.
+    pub fn on() -> Self {
+        TurboConfig { enabled: true }
+    }
+
+    /// Turbo off.
+    pub fn off() -> Self {
+        TurboConfig { enabled: false }
+    }
+
+    /// Achievable frequency (GHz) with `active_cores` busy cores out of
+    /// `total_cores`, before thermal drift.
+    ///
+    /// Models the standard bin ladder: full turbo for ≤2 active cores,
+    /// linearly decaying to roughly the all-core turbo midpoint when every
+    /// core is busy.
+    pub fn frequency_ghz(&self, spec: &CpuSpec, active_cores: u32, total_cores: u32) -> f64 {
+        if !self.enabled {
+            return spec.nominal_ghz;
+        }
+        let total = total_cores.max(1);
+        let active = active_cores.min(total);
+        if active <= 2 {
+            return spec.turbo_ghz;
+        }
+        // All-core turbo sits between nominal and max turbo; interpolate.
+        let all_core = spec.nominal_ghz + 0.5 * (spec.turbo_ghz - spec.nominal_ghz);
+        let frac = (active - 2) as f64 / (total - 2).max(1) as f64;
+        spec.turbo_ghz - frac * (spec.turbo_ghz - all_core)
+    }
+
+    /// Speedup factor (≤ 1 means faster than nominal) of work executed at
+    /// the turbo frequency with the given occupancy and per-run thermal
+    /// factor (1.0 = nominal thermal headroom).
+    pub fn work_scale(&self, spec: &CpuSpec, active_cores: u32, total_cores: u32, thermal: f64) -> f64 {
+        if !self.enabled {
+            return 1.0;
+        }
+        let f = self.frequency_ghz(spec, active_cores, total_cores) * thermal.clamp(0.5, 1.5);
+        (spec.nominal_ghz / f).clamp(0.2, 4.0)
+    }
+}
+
+impl Default for TurboConfig {
+    fn default() -> Self {
+        TurboConfig::on()
+    }
+}
+
+impl std::fmt::Display for TurboConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", if self.enabled { "on" } else { "off" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CpuSpec {
+        CpuSpec::xeon_silver_4114()
+    }
+
+    #[test]
+    fn disabled_turbo_is_nominal() {
+        let t = TurboConfig::off();
+        assert_eq!(t.frequency_ghz(&spec(), 1, 10), 2.2);
+        assert_eq!(t.work_scale(&spec(), 1, 10, 1.0), 1.0);
+    }
+
+    #[test]
+    fn few_active_cores_reach_max_turbo() {
+        let t = TurboConfig::on();
+        assert_eq!(t.frequency_ghz(&spec(), 1, 10), 3.0);
+        assert_eq!(t.frequency_ghz(&spec(), 2, 10), 3.0);
+    }
+
+    #[test]
+    fn frequency_decays_with_occupancy() {
+        let t = TurboConfig::on();
+        let mut last = f64::INFINITY;
+        for active in 1..=10 {
+            let f = t.frequency_ghz(&spec(), active, 10);
+            assert!(f <= last);
+            assert!(f >= spec().nominal_ghz, "turbo never goes below nominal");
+            last = f;
+        }
+        // All-core turbo is the interpolation midpoint: 2.6 GHz.
+        assert!((t.frequency_ghz(&spec(), 10, 10) - 2.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn turbo_work_is_faster_than_nominal() {
+        let t = TurboConfig::on();
+        let scale = t.work_scale(&spec(), 1, 10, 1.0);
+        assert!((scale - 2.2 / 3.0).abs() < 1e-9);
+        // A thermally-throttled run is slower than a cool one.
+        assert!(t.work_scale(&spec(), 4, 10, 0.9) > t.work_scale(&spec(), 4, 10, 1.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TurboConfig::on().to_string(), "on");
+        assert_eq!(TurboConfig::off().to_string(), "off");
+    }
+}

@@ -1,0 +1,79 @@
+//! Uncore frequency (MSR `0x620` in the paper's methodology).
+//!
+//! The uncore — LLC, memory controllers, I/O — has its own frequency
+//! domain. In `dynamic` mode it ramps down while the package is quiet, so
+//! the first memory/I/O-bound work after an idle spell runs against a slow
+//! fabric. Table II: the LP client leaves it dynamic; the HP client and
+//! the server pin it (`fixed`).
+
+use serde::{Deserialize, Serialize};
+use tpv_sim::SimDuration;
+
+/// Uncore frequency scaling mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UncoreMode {
+    /// Uncore frequency follows package activity (the power-saving
+    /// default).
+    Dynamic,
+    /// Uncore frequency pinned at maximum.
+    Fixed,
+}
+
+impl UncoreMode {
+    /// Extra latency added to the first work item after an idle span of
+    /// `idle`, while the fabric ramps back up.
+    ///
+    /// The penalty saturates at ~8 µs for long idleness — the uncore ramp
+    /// is faster than core C6 exit but not free.
+    pub fn wake_penalty(self, idle: SimDuration) -> SimDuration {
+        match self {
+            UncoreMode::Fixed => SimDuration::ZERO,
+            UncoreMode::Dynamic => {
+                if idle < SimDuration::from_us(50) {
+                    SimDuration::ZERO
+                } else {
+                    let depth = (idle.as_ns() as f64 / SimDuration::from_ms(1).as_ns() as f64).min(1.0);
+                    SimDuration::from_us(8).scale(depth)
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for UncoreMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UncoreMode::Dynamic => write!(f, "dynamic"),
+            UncoreMode::Fixed => write!(f, "fixed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_mode_is_free() {
+        assert_eq!(UncoreMode::Fixed.wake_penalty(SimDuration::from_ms(100)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn dynamic_mode_penalty_grows_then_saturates() {
+        let short = UncoreMode::Dynamic.wake_penalty(SimDuration::from_us(10));
+        assert_eq!(short, SimDuration::ZERO);
+        let mid = UncoreMode::Dynamic.wake_penalty(SimDuration::from_us(500));
+        let long = UncoreMode::Dynamic.wake_penalty(SimDuration::from_ms(5));
+        let longer = UncoreMode::Dynamic.wake_penalty(SimDuration::from_ms(50));
+        assert!(mid > SimDuration::ZERO);
+        assert!(long > mid);
+        assert_eq!(long, longer, "penalty saturates");
+        assert_eq!(long, SimDuration::from_us(8));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(UncoreMode::Dynamic.to_string(), "dynamic");
+        assert_eq!(UncoreMode::Fixed.to_string(), "fixed");
+    }
+}

@@ -1,0 +1,558 @@
+//! # tpv-loadgen — workload generators (§II taxonomy)
+//!
+//! The paper classifies workload generators along three axes, all of which
+//! are first-class types here:
+//!
+//! * **Loop mode** ([`LoopMode`]): *open-loop* generators model infinitely
+//!   many clients sending on an inter-arrival schedule; *closed-loop*
+//!   generators bound outstanding requests.
+//! * **Inter-arrival timing** ([`TimingMode`]): *time-sensitive* block-wait
+//!   loops sleep until the next send is due (mutilate, wrk2) — a sleeping
+//!   client core must wake first, disrupting the schedule; *time-insensitive*
+//!   busy-wait loops poll for elapsed time (the µSuite client), keeping the
+//!   schedule exact at the cost of a hot core.
+//! * **Point of measurement** ([`PointOfMeasurement`]): where the response
+//!   timestamp is taken — NIC, kernel, or inside the generator (in-app,
+//!   what every surveyed generator does).
+//!
+//! [`ClientSide`] instantiates the taxonomy on a concrete client machine
+//! ([`tpv_hw::MachineConfig`]): generator threads are
+//! [`tpv_hw::CoreResource`]s, so the LP/HP configuration difference acts on
+//! every send and receive exactly as in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use tpv_loadgen::{ClientSide, GeneratorSpec};
+//! use tpv_hw::MachineConfig;
+//! use tpv_sim::{SimRng, SimTime};
+//!
+//! let mut rng = SimRng::seed_from_u64(1);
+//! let lp = MachineConfig::low_power();
+//! let env = lp.draw_environment(&mut rng);
+//! let mut client = ClientSide::new(GeneratorSpec::mutilate(), &lp, &env);
+//!
+//! // A send due at t=5ms on an idle LP client leaves late: the thread
+//! // must wake from a deep C-state first.
+//! let plan = client.plan_send(0, SimTime::from_ms(5), &mut rng);
+//! assert!(plan.wire > SimTime::from_ms(5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use tpv_hw::{CoreResource, MachineConfig, RunEnvironment};
+use tpv_net::StackCosts;
+use tpv_sim::dist::{Exponential, LogNormal, Sampler};
+use tpv_sim::{SimDuration, SimRng, SimTime};
+
+/// Open vs closed loop (§II "workload generator design").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoopMode {
+    /// Open loop: sends follow the inter-arrival schedule regardless of
+    /// outstanding responses (models infinite clients).
+    Open,
+    /// Closed loop: each connection waits for its response (plus think
+    /// time) before sending again (models finite blocking clients).
+    Closed,
+}
+
+/// How the inter-arrival wait is implemented (§II; the axis the paper's
+/// recommendations hinge on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimingMode {
+    /// Time-sensitive: block until the next send is due (event loop with
+    /// timers). Sleeping cores disrupt the schedule on wake.
+    BlockWait,
+    /// Time-insensitive: spin, polling for elapsed time. The schedule is
+    /// exact; the arrival core never sleeps.
+    BusyWait,
+}
+
+/// Where the response timestamp is taken (§II "points of measurement").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PointOfMeasurement {
+    /// Hardware timestamp at the NIC (e.g. Lancet's hardware mode).
+    Nic,
+    /// After kernel RX processing, before the application is scheduled.
+    Kernel,
+    /// Inside the workload generator — "with most typical workload
+    /// generators, the measurement point resides within the workload
+    /// generator itself".
+    InApp,
+}
+
+/// Inter-arrival distribution family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalKind {
+    /// Poisson process (exponential gaps) — mutilate, wrk2, µSuite.
+    Exponential,
+    /// Fixed gaps (paced).
+    Deterministic,
+    /// Log-normal gaps with the given log-space sigma (bursty).
+    LogNormal(f64),
+}
+
+/// A per-connection arrival schedule generator.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    kind: ArrivalKind,
+    mean_gap: SimDuration,
+}
+
+impl ArrivalProcess {
+    /// An arrival process with the given mean inter-arrival gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_gap` is zero.
+    pub fn new(kind: ArrivalKind, mean_gap: SimDuration) -> Self {
+        assert!(!mean_gap.is_zero(), "arrival process needs a positive mean gap");
+        ArrivalProcess { kind, mean_gap }
+    }
+
+    /// Draws the gap to the next send.
+    pub fn next_gap(&self, rng: &mut SimRng) -> SimDuration {
+        match self.kind {
+            ArrivalKind::Exponential => Exponential::with_mean(self.mean_gap.as_us()).sample_us(rng),
+            ArrivalKind::Deterministic => self.mean_gap,
+            ArrivalKind::LogNormal(sigma) => {
+                LogNormal::with_mean(self.mean_gap.as_us(), sigma).sample_us(rng)
+            }
+        }
+    }
+
+    /// The configured mean gap.
+    pub fn mean_gap(&self) -> SimDuration {
+        self.mean_gap
+    }
+}
+
+/// Static description of a workload generator deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorSpec {
+    /// Client machines running generator workers (mutilate "agents").
+    pub agents: u32,
+    /// Generator threads per agent.
+    pub threads_per_agent: u32,
+    /// Total connections to the service.
+    pub connections: u32,
+    /// Open or closed loop.
+    pub loop_mode: LoopMode,
+    /// Think time per connection in closed-loop mode.
+    pub think_time: SimDuration,
+    /// Block-wait or busy-wait inter-arrival implementation.
+    pub timing: TimingMode,
+    /// Where responses are timestamped.
+    pub pom: PointOfMeasurement,
+    /// Inter-arrival distribution.
+    pub arrival: ArrivalKind,
+}
+
+impl GeneratorSpec {
+    /// The paper's Memcached generator: an extended mutilate — open-loop,
+    /// **time-sensitive block-wait**, in-app measurement, "5 machines, one
+    /// for the master process and 4 for the workload-generator clients,
+    /// establishing a total of 160 connections".
+    pub fn mutilate() -> Self {
+        GeneratorSpec {
+            agents: 4,
+            threads_per_agent: 10,
+            connections: 160,
+            loop_mode: LoopMode::Open,
+            think_time: SimDuration::ZERO,
+            timing: TimingMode::BlockWait,
+            pom: PointOfMeasurement::InApp,
+            arrival: ArrivalKind::Exponential,
+        }
+    }
+
+    /// The paper's HDSearch generator: the µSuite open-loop client —
+    /// **time-insensitive busy-wait**, Poisson arrivals, in-app
+    /// measurement.
+    pub fn microsuite_client() -> Self {
+        GeneratorSpec {
+            agents: 1,
+            threads_per_agent: 4,
+            connections: 32,
+            loop_mode: LoopMode::Open,
+            think_time: SimDuration::ZERO,
+            timing: TimingMode::BusyWait,
+            pom: PointOfMeasurement::InApp,
+            arrival: ArrivalKind::Exponential,
+        }
+    }
+
+    /// The paper's Social Network generator: an extended wrk2 — open-loop,
+    /// **time-sensitive block-wait**, 20 connections, exponential
+    /// distribution, in-app measurement.
+    pub fn wrk2() -> Self {
+        GeneratorSpec {
+            agents: 1,
+            threads_per_agent: 4,
+            connections: 20,
+            loop_mode: LoopMode::Open,
+            think_time: SimDuration::ZERO,
+            timing: TimingMode::BlockWait,
+            pom: PointOfMeasurement::InApp,
+            arrival: ArrivalKind::Exponential,
+        }
+    }
+
+    /// The synthetic workload's client (§IV-B): open-loop, time-sensitive
+    /// block-wait, in-app measurement.
+    pub fn synthetic_client() -> Self {
+        GeneratorSpec { connections: 80, ..GeneratorSpec::mutilate() }
+    }
+
+    /// Total generator threads.
+    pub fn total_threads(&self) -> u32 {
+        (self.agents * self.threads_per_agent).max(1)
+    }
+
+    /// Returns a copy with a different timing mode (taxonomy ablations).
+    pub fn with_timing(mut self, timing: TimingMode) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Returns a copy with a different point of measurement.
+    pub fn with_pom(mut self, pom: PointOfMeasurement) -> Self {
+        self.pom = pom;
+        self
+    }
+
+    /// Returns a copy configured as a closed loop with the given think
+    /// time.
+    pub fn closed_loop(mut self, think: SimDuration) -> Self {
+        self.loop_mode = LoopMode::Closed;
+        self.think_time = think;
+        self
+    }
+}
+
+/// Planned timing of one request send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendPlan {
+    /// When the generator took its send timestamp.
+    pub stamp: SimTime,
+    /// When the request actually hit the wire.
+    pub wire: SimTime,
+}
+
+/// Timing of one response delivery up the client stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvPlan {
+    /// NIC arrival (input, echoed for convenience).
+    pub nic: SimTime,
+    /// After kernel RX processing.
+    pub kernel: SimTime,
+    /// When the generator application processed and timestamped the
+    /// response.
+    pub app: SimTime,
+}
+
+impl RecvPlan {
+    /// The response timestamp under a given point of measurement.
+    pub fn stamp(&self, pom: PointOfMeasurement) -> SimTime {
+        match pom {
+            PointOfMeasurement::Nic => self.nic,
+            PointOfMeasurement::Kernel => self.kernel,
+            PointOfMeasurement::InApp => self.app,
+        }
+    }
+}
+
+/// The client side of the testbed: generator threads on client machines.
+#[derive(Debug)]
+pub struct ClientSide {
+    spec: GeneratorSpec,
+    threads: Vec<CoreResource>,
+    stack: StackCosts,
+    late_sends: u64,
+    total_sends: u64,
+    total_send_slip: SimDuration,
+}
+
+impl ClientSide {
+    /// Instantiates the generator's threads on `machine` in run
+    /// environment `env`.
+    pub fn new(spec: GeneratorSpec, machine: &MachineConfig, env: &RunEnvironment) -> Self {
+        let n = spec.total_threads() as usize;
+        let threads = (0..n)
+            .map(|_| match spec.timing {
+                // Block-wait threads sleep between events; busy-wait
+                // arrival loops keep their own core hot, and responses are
+                // handled by blocking RPC completion threads.
+                TimingMode::BlockWait => CoreResource::new(machine, env),
+                TimingMode::BusyWait => CoreResource::new(machine, env),
+            })
+            .collect();
+        ClientSide {
+            spec,
+            threads,
+            stack: StackCosts::tcp_small_rpc(),
+            late_sends: 0,
+            total_sends: 0,
+            total_send_slip: SimDuration::ZERO,
+        }
+    }
+
+    /// The generator spec.
+    pub fn spec(&self) -> &GeneratorSpec {
+        &self.spec
+    }
+
+    /// The thread a connection is owned by.
+    pub fn thread_of(&self, conn: usize) -> usize {
+        conn % self.threads.len()
+    }
+
+    /// Plans the send due at `due` on `conn`.
+    ///
+    /// Block-wait: the owning thread must be scheduled (waking if asleep)
+    /// before the request is stamped and written — late wakes slip the
+    /// wire time, disrupting the inter-arrival schedule.
+    /// Busy-wait: the arrival loop is already spinning; the send leaves
+    /// (almost) exactly on time.
+    pub fn plan_send(&mut self, conn: usize, due: SimTime, rng: &mut SimRng) -> SendPlan {
+        self.total_sends += 1;
+        match self.spec.timing {
+            TimingMode::BlockWait => {
+                let t = self.thread_of(conn);
+                let grant = self.threads[t].acquire(due, self.stack.client_send, rng);
+                let slip = grant.end.since(due);
+                // "Late" means the wire time slipped past the schedule by
+                // more than the unavoidable send-processing cost plus a
+                // small scheduling allowance.
+                if slip > self.stack.client_send + SimDuration::from_us(5) {
+                    self.late_sends += 1;
+                }
+                self.total_send_slip += slip;
+                SendPlan { stamp: grant.end, wire: grant.end }
+            }
+            TimingMode::BusyWait => {
+                let wire = due + self.stack.client_send;
+                self.total_send_slip += self.stack.client_send;
+                SendPlan { stamp: due, wire }
+            }
+        }
+    }
+
+    /// Delivers a response whose NIC arrival is `nic` up the client stack.
+    ///
+    /// Regardless of the arrival-loop implementation, the *receive* path
+    /// runs in a thread that blocks on the socket — on an LP machine it
+    /// pays the wake path before the in-app timestamp (§II's c-states
+    /// example).
+    pub fn receive(&mut self, conn: usize, nic: SimTime, rng: &mut SimRng) -> RecvPlan {
+        let kernel = nic + self.stack.kernel_rx;
+        let t = self.thread_of(conn);
+        let grant = self.threads[t].acquire(kernel, self.stack.client_recv, rng);
+        RecvPlan { nic, kernel, app: grant.end }
+    }
+
+    /// Fraction of sends that slipped their schedule by more than the
+    /// send-processing cost (a workload-fidelity diagnostic, in the spirit
+    /// of Lancet's self-checks).
+    pub fn late_send_fraction(&self) -> f64 {
+        if self.total_sends == 0 {
+            0.0
+        } else {
+            self.late_sends as f64 / self.total_sends as f64
+        }
+    }
+
+    /// Mean slip between scheduled and actual send.
+    pub fn mean_send_slip(&self) -> SimDuration {
+        if self.total_sends == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_send_slip / self.total_sends
+        }
+    }
+
+    /// Estimated client-machine energy up to `now` across generator
+    /// threads, in core-seconds of C0-equivalent power.
+    ///
+    /// The HP configuration's `idle=poll` keeps every thread's core at
+    /// full power while idle — the accuracy/energy trade-off the paper's
+    /// §VI recommendations implicitly price.
+    pub fn energy_core_secs(&self, now: SimTime) -> f64 {
+        self.threads.iter().map(|t| t.energy_core_secs(now)).sum()
+    }
+
+    /// Total wake-ups taken from each C-state across generator threads.
+    pub fn wakes_by_state(&self) -> [u64; 4] {
+        let mut acc = [0u64; 4];
+        for t in &self.threads {
+            let ws = t.wakes_by_state();
+            for i in 0..4 {
+                acc[i] += ws[i];
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp_client(spec: GeneratorSpec, seed: u64) -> (ClientSide, SimRng) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let lp = MachineConfig::low_power();
+        let env = lp.draw_environment(&mut rng);
+        (ClientSide::new(spec, &lp, &env), rng)
+    }
+
+    fn hp_client(spec: GeneratorSpec, seed: u64) -> (ClientSide, SimRng) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let hp = MachineConfig::high_performance();
+        let env = hp.draw_environment(&mut rng);
+        (ClientSide::new(spec, &hp, &env), rng)
+    }
+
+    #[test]
+    fn presets_match_the_paper() {
+        let m = GeneratorSpec::mutilate();
+        assert_eq!(m.connections, 160);
+        assert_eq!(m.agents, 4);
+        assert_eq!(m.timing, TimingMode::BlockWait);
+        assert_eq!(m.pom, PointOfMeasurement::InApp);
+        assert_eq!(m.loop_mode, LoopMode::Open);
+
+        let u = GeneratorSpec::microsuite_client();
+        assert_eq!(u.timing, TimingMode::BusyWait);
+
+        let w = GeneratorSpec::wrk2();
+        assert_eq!(w.connections, 20);
+        assert_eq!(w.timing, TimingMode::BlockWait);
+    }
+
+    #[test]
+    fn block_wait_sends_slip_on_lp() {
+        let (mut client, mut rng) = lp_client(GeneratorSpec::mutilate(), 1);
+        let plan = client.plan_send(0, SimTime::from_ms(10), &mut rng);
+        // Waking from C6 costs >100 µs before the send leaves.
+        assert!(plan.wire >= SimTime::from_ms(10) + SimDuration::from_us(50), "wire {}", plan.wire);
+        assert!(client.mean_send_slip() > SimDuration::from_us(50));
+    }
+
+    #[test]
+    fn block_wait_sends_barely_slip_on_hp() {
+        let (mut client, mut rng) = hp_client(GeneratorSpec::mutilate(), 2);
+        let plan = client.plan_send(0, SimTime::from_ms(10), &mut rng);
+        assert!(plan.wire <= SimTime::from_ms(10) + SimDuration::from_us(10), "wire {}", plan.wire);
+        assert_eq!(client.late_send_fraction(), 0.0);
+    }
+
+    #[test]
+    fn busy_wait_sends_are_exact_even_on_lp() {
+        // The µSuite client's arrival loop spins: the workload is not
+        // disrupted even on an untuned machine (Table III: "no risk").
+        let (mut client, mut rng) = lp_client(GeneratorSpec::microsuite_client(), 3);
+        let plan = client.plan_send(0, SimTime::from_ms(10), &mut rng);
+        assert_eq!(plan.stamp, SimTime::from_ms(10));
+        assert!(plan.wire <= SimTime::from_ms(10) + SimDuration::from_us(3));
+    }
+
+    #[test]
+    fn receive_path_pays_wake_on_lp_even_for_busy_wait() {
+        // The in-app receive timestamp is inflated on LP for both timing
+        // modes — the mechanism behind HDSearch's residual LP/HP gap.
+        let (mut lp, mut r1) = lp_client(GeneratorSpec::microsuite_client(), 4);
+        let (mut hp, mut r2) = hp_client(GeneratorSpec::microsuite_client(), 4);
+        let nic = SimTime::from_ms(20);
+        let lp_plan = lp.receive(0, nic, &mut r1);
+        let hp_plan = hp.receive(0, nic, &mut r2);
+        assert!(lp_plan.app > hp_plan.app, "LP app stamp {} !> HP {}", lp_plan.app, hp_plan.app);
+        // Point-of-measurement ordering holds everywhere.
+        for plan in [lp_plan, hp_plan] {
+            assert!(plan.stamp(PointOfMeasurement::Nic) <= plan.stamp(PointOfMeasurement::Kernel));
+            assert!(plan.stamp(PointOfMeasurement::Kernel) <= plan.stamp(PointOfMeasurement::InApp));
+        }
+    }
+
+    #[test]
+    fn burst_of_due_sends_serializes_on_one_thread() {
+        let (mut client, mut rng) = lp_client(GeneratorSpec::mutilate(), 5);
+        // Three sends due at the same instant on connections owned by the
+        // same thread (conn, conn+threads, conn+2*threads).
+        let threads = client.spec().total_threads() as usize;
+        let due = SimTime::from_ms(50);
+        let w1 = client.plan_send(0, due, &mut rng).wire;
+        let w2 = client.plan_send(threads, due, &mut rng).wire;
+        let w3 = client.plan_send(2 * threads, due, &mut rng).wire;
+        assert!(w1 < w2 && w2 < w3, "sends did not serialize: {w1} {w2} {w3}");
+    }
+
+    #[test]
+    fn different_threads_do_not_serialize() {
+        let (mut client, mut rng) = hp_client(GeneratorSpec::mutilate(), 6);
+        let due = SimTime::from_ms(50);
+        let w1 = client.plan_send(0, due, &mut rng).wire;
+        let w2 = client.plan_send(1, due, &mut rng).wire;
+        // Consecutive connections live on different threads.
+        assert!(client.thread_of(0) != client.thread_of(1));
+        assert!((w1.as_ns() as i64 - w2.as_ns() as i64).abs() < 10_000);
+    }
+
+    #[test]
+    fn arrival_processes_have_right_mean() {
+        let mut rng = SimRng::seed_from_u64(7);
+        for kind in [ArrivalKind::Exponential, ArrivalKind::Deterministic, ArrivalKind::LogNormal(0.5)] {
+            let p = ArrivalProcess::new(kind, SimDuration::from_us(100));
+            let n = 50_000;
+            let total: f64 = (0..n).map(|_| p.next_gap(&mut rng).as_us()).sum();
+            let mean = total / n as f64;
+            assert!((mean - 100.0).abs() < 3.0, "{kind:?}: mean {mean}");
+            assert_eq!(p.mean_gap(), SimDuration::from_us(100));
+        }
+    }
+
+    #[test]
+    fn spec_builders() {
+        let s = GeneratorSpec::mutilate()
+            .with_timing(TimingMode::BusyWait)
+            .with_pom(PointOfMeasurement::Nic)
+            .closed_loop(SimDuration::from_us(50));
+        assert_eq!(s.timing, TimingMode::BusyWait);
+        assert_eq!(s.pom, PointOfMeasurement::Nic);
+        assert_eq!(s.loop_mode, LoopMode::Closed);
+        assert_eq!(s.think_time, SimDuration::from_us(50));
+        assert_eq!(GeneratorSpec::synthetic_client().connections, 80);
+    }
+
+    #[test]
+    fn wake_statistics_visible() {
+        let (mut client, mut rng) = lp_client(GeneratorSpec::mutilate(), 8);
+        for i in 1..=20u64 {
+            client.plan_send(0, SimTime::from_ms(5 * i), &mut rng);
+        }
+        let wakes: u64 = client.wakes_by_state().iter().sum();
+        assert!(wakes >= 19, "wakes {wakes}");
+    }
+
+    #[test]
+    fn hp_client_burns_more_energy_while_idle() {
+        let (mut lp, mut r1) = lp_client(GeneratorSpec::mutilate(), 21);
+        let (mut hp, mut r2) = hp_client(GeneratorSpec::mutilate(), 21);
+        // Sparse activity: both clients mostly idle.
+        for i in 1..=20u64 {
+            lp.plan_send(0, SimTime::from_ms(10 * i), &mut r1);
+            hp.plan_send(0, SimTime::from_ms(10 * i), &mut r2);
+        }
+        let horizon = SimTime::from_ms(210);
+        let e_lp = lp.energy_core_secs(horizon);
+        let e_hp = hp.energy_core_secs(horizon);
+        assert!(e_hp > 1.5 * e_lp, "HP (poll) {e_hp} !>> LP {e_lp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mean gap")]
+    fn zero_gap_rejected() {
+        ArrivalProcess::new(ArrivalKind::Exponential, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,446 @@
+//! A memcached-like key-value store with the Facebook ETC workload.
+//!
+//! §IV-B: *"we run a memcached instance with 10 worker threads pinned on a
+//! single socket … We configure the workload generator to recreate the ETC
+//! workload from Facebook"*.
+//!
+//! Two layers, deliberately separated:
+//!
+//! * [`KvStore`] — a real, functional sharded hash table. Requests
+//!   actually `get`/`set` against it (hit/miss semantics, value sizes,
+//!   versioning), so the service's behaviour is grounded in real data
+//!   structures rather than a bare latency constant.
+//! * [`KvService`] — the timing layer: each request runs on a worker of a
+//!   [`WorkerPool`] built from the server's [`MachineConfig`], with a
+//!   service-time model derived from the operation and payload sizes.
+//!
+//! The [`EtcWorkload`] reproduces the published ETC characteristics
+//! (Atikoglu et al., SIGMETRICS '12): GEV key sizes, generalized-Pareto
+//! value sizes, ~30:1 GET:SET ratio, Zipf-like key popularity.
+
+use std::collections::HashMap;
+
+use tpv_hw::{MachineConfig, RunEnvironment};
+use tpv_net::StackCosts;
+use tpv_sim::dist::{GeneralizedPareto, Gev, Normal, Sampler, Zipf};
+use tpv_sim::{SimDuration, SimRng, SimTime};
+
+use crate::interference::InterferenceProfile;
+use crate::request::{KvOp, RequestDescriptor, ServiceCompletion};
+use crate::worker_pool::WorkerPool;
+
+/// A stored value: size + version (payload bytes are represented, not
+/// materialized, to keep memory bounded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredValue {
+    /// Value size in bytes.
+    pub size: u32,
+    /// Monotonically increasing version (bumped by each SET).
+    pub version: u32,
+}
+
+/// A sharded hash-table store — the functional core of the service.
+///
+/// # Example
+///
+/// ```
+/// use tpv_services::kv::KvStore;
+/// let mut store = KvStore::new(16);
+/// store.set(42, 100);
+/// assert_eq!(store.get(42).unwrap().size, 100);
+/// assert!(store.get(7).is_none());
+/// ```
+#[derive(Debug)]
+pub struct KvStore {
+    shards: Vec<HashMap<u64, StoredValue>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl KvStore {
+    /// An empty store with `shards` hash-table shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "store needs at least one shard");
+        KvStore { shards: (0..shards).map(|_| HashMap::new()).collect(), hits: 0, misses: 0 }
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9e3779b97f4a7c15) >> 33) as usize % self.shards.len()
+    }
+
+    /// Reads a key, recording hit/miss statistics.
+    pub fn get(&mut self, key: u64) -> Option<StoredValue> {
+        let shard = self.shard_of(key);
+        match self.shards[shard].get(&key) {
+            Some(v) => {
+                self.hits += 1;
+                Some(*v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Writes a key, returning the previous value if any.
+    pub fn set(&mut self, key: u64, size: u32) -> Option<StoredValue> {
+        let shard = self.shard_of(key);
+        let next_version = self.shards[shard].get(&key).map(|v| v.version + 1).unwrap_or(0);
+        self.shards[shard].insert(key, StoredValue { size, version: next_version })
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit ratio so far (1.0 before any GET).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The Facebook ETC workload model (Atikoglu et al., SIGMETRICS '12).
+#[derive(Debug, Clone)]
+pub struct EtcWorkload {
+    key_size: Gev,
+    value_size: GeneralizedPareto,
+    popularity: Zipf,
+    keys: u64,
+    get_ratio: f64,
+}
+
+impl EtcWorkload {
+    /// The published ETC parameters over a keyspace of `keys` keys:
+    /// key sizes GEV(30.7984, 8.20449, 0.078688), value sizes
+    /// GP(0, 214.476, 0.348238), GET:SET ≈ 30:1, Zipf(0.99) popularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys == 0`.
+    pub fn new(keys: u64) -> Self {
+        assert!(keys > 0, "ETC needs a non-empty keyspace");
+        EtcWorkload {
+            key_size: Gev::new(30.7984, 8.20449, 0.078688),
+            value_size: GeneralizedPareto::new(0.0, 214.476, 0.348238),
+            popularity: Zipf::new(keys.min(1_000_000) as usize, 0.99),
+            keys,
+            get_ratio: 30.0 / 31.0,
+        }
+    }
+
+    /// Draws the next request's descriptor.
+    pub fn next_descriptor(&self, rng: &mut SimRng) -> RequestDescriptor {
+        let op = if rng.next_bool(self.get_ratio) { KvOp::Get } else { KvOp::Set };
+        let key = self.popularity.sample_rank(rng) as u64 % self.keys;
+        let key_size = self.key_size.sample(rng).clamp(1.0, 250.0) as u32;
+        let value_size = self.value_size.sample(rng).clamp(1.0, 1_000_000.0) as u32;
+        RequestDescriptor::Kv { op, key, key_size, value_size }
+    }
+}
+
+/// Configuration of the KV service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvConfig {
+    /// Worker threads (the paper pins 10 on one socket).
+    pub workers: usize,
+    /// Keys preloaded into the store.
+    pub preload_keys: u64,
+    /// Mean pure service time of a GET at nominal frequency (~10 µs
+    /// server-side processing for memcached, §I).
+    pub mean_get_service: SimDuration,
+    /// Execute the functional store operation for one in `fidelity`
+    /// requests (1 = every request; higher = sampled, cheaper).
+    pub fidelity: u32,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            workers: 10,
+            preload_keys: 100_000,
+            mean_get_service: SimDuration::from_us(8),
+            fidelity: 16,
+        }
+    }
+}
+
+/// The memcached-like service instance for one run.
+#[derive(Debug)]
+pub struct KvService {
+    store: KvStore,
+    workload: EtcWorkload,
+    pool: WorkerPool,
+    config: KvConfig,
+    stack: StackCosts,
+    service_jitter: Normal,
+    requests: u64,
+}
+
+impl KvService {
+    /// Builds the service on `server` for a run of length `horizon`,
+    /// preloading the store.
+    pub fn new(
+        config: KvConfig,
+        server: &MachineConfig,
+        env: &RunEnvironment,
+        interference: &InterferenceProfile,
+        horizon: SimDuration,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut store = KvStore::new(config.workers.max(1) * 4);
+        let workload = EtcWorkload::new(config.preload_keys);
+        // Preload so GETs mostly hit (ETC is a cache-fill-then-read
+        // pattern; the paper fills before measuring).
+        let mut preload_rng = rng.split();
+        for key in 0..config.preload_keys {
+            let size = workload.value_size.sample(&mut preload_rng).clamp(1.0, 1_000_000.0) as u32;
+            store.set(key, size);
+        }
+        let mut pool = WorkerPool::new(server, env, config.workers, interference, horizon, rng);
+        pool.set_contention_coef(0.35); // hash-table walks are memory-bound
+        KvService {
+            store,
+            workload,
+            pool,
+            config,
+            stack: StackCosts::tcp_small_rpc(),
+            service_jitter: Normal::new(1.0, 0.22),
+            requests: 0,
+        }
+    }
+
+    /// Draws the next request descriptor from the ETC workload.
+    pub fn next_descriptor(&self, rng: &mut SimRng) -> RequestDescriptor {
+        self.workload.next_descriptor(rng)
+    }
+
+    /// Handles one request arriving at the server NIC at `arrival`.
+    pub fn handle(
+        &mut self,
+        conn: usize,
+        desc: &RequestDescriptor,
+        arrival: SimTime,
+        rng: &mut SimRng,
+    ) -> ServiceCompletion {
+        let (op, key, value_size) = match desc {
+            RequestDescriptor::Kv { op, key, value_size, .. } => (*op, *key, *value_size),
+            other => panic!("KvService got a non-KV request: {other:?}"),
+        };
+
+        self.requests += 1;
+        // Functional layer (sampled): really touch the hash table.
+        let stored_size = if self.requests.is_multiple_of(self.config.fidelity as u64) {
+            match op {
+                KvOp::Get => self.store.get(key).map(|v| v.size).unwrap_or(0),
+                KvOp::Set => {
+                    self.store.set(key, value_size);
+                    value_size
+                }
+            }
+        } else {
+            value_size
+        };
+
+        // Timing layer: base cost + size-dependent serialization
+        // (~0.5 µs per KiB moved) + multiplicative jitter.
+        let moved = match op {
+            KvOp::Get => stored_size.max(1),
+            KvOp::Set => value_size,
+        };
+        let size_cost = SimDuration::from_us_f64(moved as f64 / 1024.0 * 0.5);
+        let op_factor = match op {
+            KvOp::Get => 1.0,
+            KvOp::Set => 1.25, // writes invalidate + copy
+        };
+        let jitter = self.service_jitter.sample(rng).max(0.5);
+        let service = (self.config.mean_get_service + size_cost).scale(op_factor * jitter);
+
+        let worker = self.pool.worker_for_connection(conn);
+        let grant = self.pool.execute(worker, arrival, service, self.stack.server_softirq, rng);
+        ServiceCompletion { response_wire: grant.end, server_time: grant.busy }
+    }
+
+    /// The functional store (inspection / tests).
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// The worker pool (inspection / tests).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service(server: &MachineConfig, seed: u64) -> (KvService, SimRng) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let env = RunEnvironment::neutral();
+        let cfg = KvConfig { preload_keys: 1_000, fidelity: 1, ..KvConfig::default() };
+        let svc = KvService::new(cfg, server, &env, &InterferenceProfile::none(), SimDuration::from_secs(1), &mut rng);
+        (svc, rng)
+    }
+
+    #[test]
+    fn store_get_set_roundtrip() {
+        let mut s = KvStore::new(4);
+        assert!(s.is_empty());
+        assert!(s.set(1, 10).is_none());
+        let prev = s.set(1, 20).unwrap();
+        assert_eq!(prev.size, 10);
+        assert_eq!(prev.version, 0);
+        let cur = s.get(1).unwrap();
+        assert_eq!(cur.size, 20);
+        assert_eq!(cur.version, 1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn store_tracks_hit_ratio() {
+        let mut s = KvStore::new(2);
+        s.set(1, 10);
+        s.get(1);
+        s.get(2);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(KvStore::new(1).hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn etc_descriptors_have_published_shape() {
+        let w = EtcWorkload::new(10_000);
+        let mut rng = SimRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut gets = 0u32;
+        let mut key_sizes = Vec::new();
+        let mut value_sizes = Vec::new();
+        for _ in 0..n {
+            match w.next_descriptor(&mut rng) {
+                RequestDescriptor::Kv { op, key, key_size, value_size } => {
+                    assert!(key < 10_000);
+                    assert!((1..=250).contains(&key_size));
+                    assert!(value_size >= 1);
+                    if op == KvOp::Get {
+                        gets += 1;
+                    }
+                    key_sizes.push(key_size as f64);
+                    value_sizes.push(value_size as f64);
+                }
+                other => panic!("unexpected descriptor {other:?}"),
+            }
+        }
+        // GET ratio ≈ 30/31 ≈ 0.968.
+        let ratio = gets as f64 / n as f64;
+        assert!((ratio - 0.968).abs() < 0.01, "GET ratio {ratio}");
+        // ETC medians: keys in the 20-40 B range, values a few hundred B.
+        let km = tpv_stats_median(&key_sizes);
+        assert!((25.0..40.0).contains(&km), "median key size {km}");
+        let vm = tpv_stats_median(&value_sizes);
+        assert!((100.0..400.0).contains(&vm), "median value size {vm}");
+    }
+
+    // Minimal local median to avoid a dev-dependency on tpv-stats.
+    fn tpv_stats_median(xs: &[f64]) -> f64 {
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+
+    #[test]
+    fn zipf_popularity_concentrates_traffic() {
+        let w = EtcWorkload::new(1_000);
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 1_000];
+        for _ in 0..50_000 {
+            if let RequestDescriptor::Kv { key, .. } = w.next_descriptor(&mut rng) {
+                counts[key as usize] += 1;
+            }
+        }
+        let top10: u32 = {
+            let mut c = counts.clone();
+            c.sort_unstable_by(|a, b| b.cmp(a));
+            c[..10].iter().sum()
+        };
+        // Zipf(0.99) over 1000 keys: top-10 keys carry >20 % of traffic.
+        assert!(top10 as f64 / 50_000.0 > 0.20, "top10 share {}", top10 as f64 / 50_000.0);
+    }
+
+    #[test]
+    fn handle_returns_plausible_service_time() {
+        let (mut svc, mut rng) = service(&MachineConfig::server_baseline(), 3);
+        let desc = svc.next_descriptor(&mut rng);
+        let arrival = SimTime::from_ms(1);
+        let done = svc.handle(7, &desc, arrival, &mut rng);
+        let span = done.response_wire.since(arrival);
+        // One request on an idle server: wake + ~10 µs service.
+        assert!(span >= SimDuration::from_us(5), "span {span}");
+        assert!(span <= SimDuration::from_us(120), "span {span}");
+        assert!(done.server_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sets_cost_more_than_gets() {
+        let (mut svc, mut rng) = service(&MachineConfig::server_baseline(), 4);
+        let mk = |op| RequestDescriptor::Kv { op, key: 5, key_size: 30, value_size: 300 };
+        // Use well-separated arrivals on the same conn so no queueing.
+        let mut get_total = SimDuration::ZERO;
+        let mut set_total = SimDuration::ZERO;
+        for i in 0..50u64 {
+            let t_get = SimTime::from_ms(10 + 2 * i);
+            get_total += svc.handle(1, &mk(KvOp::Get), t_get, &mut rng).server_time;
+            let t_set = SimTime::from_ms(11 + 2 * i);
+            set_total += svc.handle(1, &mk(KvOp::Set), t_set, &mut rng).server_time;
+        }
+        assert!(set_total > get_total);
+    }
+
+    #[test]
+    fn queueing_emerges_under_load() {
+        let (mut svc, mut rng) = service(&MachineConfig::server_baseline(), 5);
+        // Same connection → same worker; arrivals every 2 µs with ~10 µs
+        // service must queue.
+        let mut last = SimTime::ZERO;
+        for i in 0..100u64 {
+            let desc = svc.next_descriptor(&mut rng);
+            let done = svc.handle(3, &desc, SimTime::from_us(2 * i), &mut rng);
+            assert!(done.response_wire >= last);
+            last = done.response_wire;
+        }
+        assert!(last > SimTime::from_us(500), "no queueing visible: {last}");
+    }
+
+    #[test]
+    fn preload_makes_gets_hit() {
+        let (mut svc, mut rng) = service(&MachineConfig::server_baseline(), 6);
+        for i in 0..2_000u64 {
+            let desc = svc.next_descriptor(&mut rng);
+            svc.handle((i % 16) as usize, &desc, SimTime::from_us(100 * i), &mut rng);
+        }
+        assert!(svc.store().hit_ratio() > 0.95, "hit ratio {}", svc.store().hit_ratio());
+        assert!(svc.pool().items() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-KV request")]
+    fn wrong_descriptor_panics() {
+        let (mut svc, mut rng) = service(&MachineConfig::server_baseline(), 7);
+        svc.handle(0, &RequestDescriptor::Synthetic, SimTime::ZERO, &mut rng);
+    }
+}

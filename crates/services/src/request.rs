@@ -1,0 +1,127 @@
+//! Request descriptors and completions — the contract between workload,
+//! generator and service.
+//!
+//! The *workload generator* decides **when** a request is issued and with
+//! what resource demands (§II: "load intensity … and resource demands");
+//! the *service* decides how long it takes. `RequestDescriptor` carries
+//! the resource demands; [`ServiceCompletion`] carries the server-side
+//! outcome.
+
+use tpv_sim::{SimDuration, SimTime};
+
+/// A key-value operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read a key.
+    Get,
+    /// Write a key.
+    Set,
+}
+
+/// Resource demands of one request, drawn by the service's workload model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequestDescriptor {
+    /// A memcached-style request (ETC workload).
+    Kv {
+        /// Operation type.
+        op: KvOp,
+        /// Key identity (popularity-ranked).
+        key: u64,
+        /// Key size in bytes (ETC: GEV-distributed).
+        key_size: u32,
+        /// Value size in bytes (ETC: generalized-Pareto-distributed).
+        value_size: u32,
+    },
+    /// An HDSearch image-similarity query.
+    Search {
+        /// Which of the pre-generated query vectors to run.
+        query_id: u32,
+    },
+    /// A Social Network `read-user-timeline` request.
+    Timeline {
+        /// The user whose timeline is read.
+        user: u32,
+    },
+    /// A synthetic-service request.
+    Synthetic,
+}
+
+impl RequestDescriptor {
+    /// Approximate request payload size on the wire, for stack-cost
+    /// scaling.
+    pub fn request_bytes(&self) -> usize {
+        match self {
+            RequestDescriptor::Kv { op, key_size, value_size, .. } => match op {
+                KvOp::Get => *key_size as usize + 24,
+                KvOp::Set => *key_size as usize + *value_size as usize + 32,
+            },
+            RequestDescriptor::Search { .. } => 64 * 4 + 32, // a feature vector
+            RequestDescriptor::Timeline { .. } => 64,
+            RequestDescriptor::Synthetic => 32,
+        }
+    }
+}
+
+/// What the server did with a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceCompletion {
+    /// When the response left the server (onto the wire).
+    pub response_wire: SimTime,
+    /// Pure server-side busy time attributable to the request (excludes
+    /// queueing), for utilisation accounting.
+    pub server_time: SimDuration,
+}
+
+/// Context carried between stages of a multi-stage request.
+///
+/// Kept small and `Copy` so it can ride inside simulation events. The
+/// meaning of `aux`/`aux2` is service-specific (e.g. the assembled post
+/// count, or a cache-hit flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageCtx {
+    /// Server busy time accumulated by earlier stages (ns).
+    pub busy_ns: u64,
+    /// Service-specific payload.
+    pub aux: u32,
+    /// Service-specific payload.
+    pub aux2: u32,
+}
+
+/// Outcome of admitting or resuming a request on a service.
+///
+/// Multi-tier services (HDSearch, Social Network) process a request as a
+/// chain of stages; each stage ends either with the response on the wire
+/// or with a continuation the simulation schedules as an event. This is
+/// what keeps every worker's queue fed in chronological order — the
+/// defining property of a FIFO system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StageOutcome {
+    /// The response left the server.
+    Done(ServiceCompletion),
+    /// The request continues at `at` with the given stage index.
+    Continue {
+        /// When the next stage's input arrives (after internal RPC hops).
+        at: SimTime,
+        /// Next stage index (service-specific).
+        stage: u8,
+        /// Carried context.
+        ctx: StageCtx,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sizes_reflect_payloads() {
+        let get = RequestDescriptor::Kv { op: KvOp::Get, key: 1, key_size: 30, value_size: 300 };
+        let set = RequestDescriptor::Kv { op: KvOp::Set, key: 1, key_size: 30, value_size: 300 };
+        assert!(set.request_bytes() > get.request_bytes());
+        assert_eq!(get.request_bytes(), 54);
+        let q = RequestDescriptor::Search { query_id: 0 };
+        assert!(q.request_bytes() > 200);
+        assert!(RequestDescriptor::Synthetic.request_bytes() < 64);
+        assert_eq!(RequestDescriptor::Timeline { user: 3 }.request_bytes(), 64);
+    }
+}

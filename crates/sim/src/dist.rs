@@ -1,0 +1,552 @@
+//! Statistical distributions used by the workload and hardware models.
+//!
+//! Everything samples through the [`Sampler`] trait from a [`SimRng`], via
+//! inverse-CDF or classical transforms, so streams stay reproducible.
+//!
+//! The set is driven by the paper's workloads:
+//!
+//! * [`Exponential`] — open-loop Poisson inter-arrival times (§II, §IV-B).
+//! * [`Normal`] / [`LogNormal`] — service-time jitter and per-run drift.
+//! * [`GeneralizedPareto`] / [`Gev`] — Facebook ETC value/key sizes
+//!   (Atikoglu et al., SIGMETRICS'12), used by the Memcached workload.
+//! * [`Zipf`] — key popularity.
+//! * [`Pareto`] — heavy-tailed interference.
+//! * [`Deterministic`], [`Uniform`], [`Empirical`] — building blocks.
+
+use crate::rng::SimRng;
+use crate::SimDuration;
+
+/// A distribution over `f64` that can be sampled with a [`SimRng`].
+pub trait Sampler {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// Draws one sample and interprets it as a duration in microseconds.
+    ///
+    /// Negative samples clamp to zero — convenient for jittered duration
+    /// models where the jitter may dip below zero.
+    fn sample_us(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_us_f64(self.sample(rng))
+    }
+}
+
+/// A point mass: always returns the same value.
+///
+/// # Example
+///
+/// ```
+/// use tpv_sim::dist::{Deterministic, Sampler};
+/// use tpv_sim::SimRng;
+/// let d = Deterministic::new(4.0);
+/// assert_eq!(d.sample(&mut SimRng::seed_from_u64(0)), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// A distribution that always yields `value`.
+    pub fn new(value: f64) -> Self {
+        Deterministic { value }
+    }
+}
+
+impl Sampler for Deterministic {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.value
+    }
+}
+
+/// Uniform on `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    span: f64,
+}
+
+impl Uniform {
+    /// Uniform over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `high < low` or either bound is non-finite.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low.is_finite() && high.is_finite() && high >= low, "bad uniform bounds [{low}, {high})");
+        Uniform { low, span: high - low }
+    }
+}
+
+impl Sampler for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.low + self.span * rng.next_f64()
+    }
+}
+
+/// Exponential with rate `lambda` (mean `1/lambda`), via inverse CDF.
+///
+/// This is the inter-arrival distribution of an open-loop Poisson workload
+/// generator — the configuration used by mutilate, the µSuite client and
+/// wrk2 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Exponential with the given rate (events per unit time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn with_rate(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "exponential rate must be positive, got {rate}");
+        Exponential { mean: 1.0 / rate }
+    }
+
+    /// Exponential with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive, got {mean}");
+        Exponential { mean }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        -self.mean * rng.next_f64_open().ln()
+    }
+}
+
+/// Normal (Gaussian) via the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Normal with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0, "bad normal parameters ({mean}, {std_dev})");
+        Normal { mean, std_dev }
+    }
+
+    /// Draws a standard-normal variate.
+    pub fn standard_sample(rng: &mut SimRng) -> f64 {
+        // Box–Muller; we deliberately discard the second variate to keep
+        // the stream position independent of caller interleaving.
+        let u1 = rng.next_f64_open();
+        let u2 = rng.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Sampler for Normal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.mean + self.std_dev * Normal::standard_sample(rng)
+    }
+}
+
+/// Log-normal: `exp(Normal(mu, sigma))`.
+///
+/// Used for right-skewed per-run interference — exactly the shape that
+/// makes high-QPS configurations fail the Shapiro–Wilk test in §V-C.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Log-normal with log-space mean `mu` and log-space std dev `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "bad lognormal parameters ({mu}, {sigma})");
+        LogNormal { mu, sigma }
+    }
+
+    /// Log-normal parameterised by its *linear-space* mean and the
+    /// log-space sigma — convenient for calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `sigma < 0`.
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0 && sigma >= 0.0, "bad lognormal mean/sigma ({mean}, {sigma})");
+        LogNormal { mu: mean.ln() - sigma * sigma / 2.0, sigma }
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * Normal::standard_sample(rng)).exp()
+    }
+}
+
+/// Pareto (type I) with scale `x_m` and shape `alpha`, via inverse CDF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    inv_alpha: f64,
+}
+
+impl Pareto {
+    /// Pareto with minimum `scale` and tail index `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale > 0` and `alpha > 0`.
+    pub fn new(scale: f64, alpha: f64) -> Self {
+        assert!(scale > 0.0 && alpha > 0.0, "bad pareto parameters ({scale}, {alpha})");
+        Pareto { scale, inv_alpha: 1.0 / alpha }
+    }
+}
+
+impl Sampler for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.scale / rng.next_f64_open().powf(self.inv_alpha)
+    }
+}
+
+/// Generalized Pareto distribution (GPD).
+///
+/// Atikoglu et al. model Facebook ETC *value sizes* as
+/// GP(θ = 0, σ = 214.48, k = 0.348); the ETC workload model in
+/// `tpv-services` relies on this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneralizedPareto {
+    location: f64,
+    scale: f64,
+    shape: f64,
+}
+
+impl GeneralizedPareto {
+    /// GPD with location θ, scale σ and shape k.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale > 0`.
+    pub fn new(location: f64, scale: f64, shape: f64) -> Self {
+        assert!(scale > 0.0, "GPD scale must be positive, got {scale}");
+        GeneralizedPareto { location, scale, shape }
+    }
+}
+
+impl Sampler for GeneralizedPareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = rng.next_f64_open(); // in (0,1]
+        if self.shape.abs() < 1e-12 {
+            self.location - self.scale * u.ln()
+        } else {
+            self.location + self.scale * (u.powf(-self.shape) - 1.0) / self.shape
+        }
+    }
+}
+
+/// Generalized extreme value (GEV) distribution.
+///
+/// Atikoglu et al. model Facebook ETC *key sizes* as
+/// GEV(µ = 30.7984, σ = 8.20449, k = 0.078688).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gev {
+    location: f64,
+    scale: f64,
+    shape: f64,
+}
+
+impl Gev {
+    /// GEV with location µ, scale σ and shape k.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale > 0`.
+    pub fn new(location: f64, scale: f64, shape: f64) -> Self {
+        assert!(scale > 0.0, "GEV scale must be positive, got {scale}");
+        Gev { location, scale, shape }
+    }
+}
+
+impl Sampler for Gev {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = rng.next_f64_open();
+        let ln_u = -u.ln(); // Exp(1)
+        if self.shape.abs() < 1e-12 {
+            self.location - self.scale * ln_u.ln()
+        } else {
+            self.location + self.scale * (ln_u.powf(-self.shape) - 1.0) / self.shape
+        }
+    }
+}
+
+/// Zipf-distributed ranks over `{1, …, n}` with exponent `s`.
+///
+/// Sampled by inverting the CDF over a precomputed prefix table (O(log n)
+/// per draw), which is exact and deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Zipf over `n` ranks with exponent `s` (s = 0 is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative, got {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `[0, n)` (0-based; rank 0 is the most popular).
+    pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (it never is; kept for API
+    /// symmetry with collections).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+impl Sampler for Zipf {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.sample_rank(rng) as f64
+    }
+}
+
+/// An empirical distribution: samples uniformly from observed values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    values: Vec<f64>,
+}
+
+impl Empirical {
+    /// Builds an empirical distribution from observed values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "empirical distribution needs at least one value");
+        Empirical { values }
+    }
+}
+
+impl Sampler for Empirical {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.values[rng.next_index(self.values.len())]
+    }
+}
+
+/// A boxed sampler, for configurations that choose distributions at runtime.
+pub type DynSampler = Box<dyn Sampler + Send + Sync>;
+
+impl Sampler for DynSampler {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (**self).sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(s: &impl Sampler, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        (0..n).map(|_| s.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    fn var_of(s: &impl Sampler, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| s.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let e = Exponential::with_rate(0.1); // mean 10
+        let m = mean_of(&e, 200_000, 1);
+        assert!((m - 10.0).abs() < 0.15, "mean {m}");
+        let v = var_of(&e, 200_000, 2);
+        assert!((v - 100.0).abs() < 5.0, "variance {v}");
+        assert_eq!(Exponential::with_mean(10.0).mean(), 10.0);
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let e = Exponential::with_mean(1.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(e.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let n = Normal::new(5.0, 2.0);
+        let m = mean_of(&n, 200_000, 4);
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+        let v = var_of(&n, 200_000, 5);
+        assert!((v - 4.0).abs() < 0.15, "variance {v}");
+    }
+
+    #[test]
+    fn lognormal_with_mean_hits_linear_mean() {
+        let ln = LogNormal::with_mean(3.0, 0.5);
+        let m = mean_of(&ln, 400_000, 6);
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            assert!(ln.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale_floor() {
+        let p = Pareto::new(2.0, 3.0);
+        let mut rng = SimRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            assert!(p.sample(&mut rng) >= 2.0);
+        }
+        // E[X] = alpha*xm/(alpha-1) = 3 for alpha=3, xm=2.
+        let m = mean_of(&p, 400_000, 9);
+        assert!((m - 3.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn gpd_shape_zero_degenerates_to_exponential() {
+        let g = GeneralizedPareto::new(0.0, 5.0, 0.0);
+        let m = mean_of(&g, 200_000, 10);
+        assert!((m - 5.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn gpd_etc_value_sizes_are_plausible() {
+        // ETC value sizes: GP(0, 214.48, 0.348); mean = sigma/(1-k) ~ 329.
+        let g = GeneralizedPareto::new(0.0, 214.48, 0.348);
+        let m = mean_of(&g, 400_000, 11);
+        assert!((m - 329.0).abs() < 25.0, "mean {m}");
+        let mut rng = SimRng::seed_from_u64(12);
+        for _ in 0..10_000 {
+            assert!(g.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gev_etc_key_sizes_are_plausible() {
+        // ETC key sizes: GEV(30.7984, 8.20449, 0.078688); median = mu + sigma*((ln2)^-k - 1)/k.
+        let g = Gev::new(30.7984, 8.20449, 0.078688);
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut xs: Vec<f64> = (0..100_001).map(|_| g.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[50_000];
+        let k = 0.078688f64;
+        let expected = 30.7984 + 8.20449 * ((std::f64::consts::LN_2.powf(-k)) - 1.0) / k;
+        assert!((med - expected).abs() < 0.5, "median {med} vs expected {expected}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_most_popular() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SimRng::seed_from_u64(14);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample_rank(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+        assert_eq!(z.len(), 1000);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SimRng::seed_from_u64(15);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample_rank(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket {c}");
+        }
+    }
+
+    #[test]
+    fn empirical_samples_only_observed_values() {
+        let e = Empirical::new(vec![1.5, 2.5, 4.0]);
+        let mut rng = SimRng::seed_from_u64(16);
+        for _ in 0..1_000 {
+            let x = e.sample(&mut rng);
+            assert!(x == 1.5 || x == 2.5 || x == 4.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_uniform() {
+        let mut rng = SimRng::seed_from_u64(17);
+        assert_eq!(Deterministic::new(2.0).sample(&mut rng), 2.0);
+        let u = Uniform::new(3.0, 7.0);
+        for _ in 0..10_000 {
+            let x = u.sample(&mut rng);
+            assert!((3.0..7.0).contains(&x));
+        }
+        let m = mean_of(&u, 100_000, 18);
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn sample_us_clamps_negatives() {
+        let n = Normal::new(-100.0, 0.1);
+        let mut rng = SimRng::seed_from_u64(19);
+        assert_eq!(n.sample_us(&mut rng), SimDuration::ZERO);
+        let d = Deterministic::new(2.5);
+        assert_eq!(d.sample_us(&mut rng).as_ns(), 2_500);
+    }
+
+    #[test]
+    fn dyn_sampler_boxing_works() {
+        let d: DynSampler = Box::new(Deterministic::new(1.0));
+        let mut rng = SimRng::seed_from_u64(20);
+        assert_eq!(d.sample(&mut rng), 1.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! The pending-event set of the discrete-event simulation.
+//!
+//! Events are ordered by timestamp with a monotonically increasing sequence
+//! number as tiebreaker, so simultaneous events pop in the order they were
+//! scheduled. This makes the whole simulation deterministic: two executions
+//! with the same seed produce identical event interleavings.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A deterministic priority queue of timestamped events.
+///
+/// # Example
+///
+/// ```
+/// use tpv_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_us(20), "late");
+/// q.schedule(SimTime::from_us(10), "early");
+/// q.schedule(SimTime::from_us(10), "early-second");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "early-second");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    last_popped: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    ///
+    /// Scheduling in the past is allowed (the event fires "now", i.e. it is
+    /// popped next) — callers that care assert on their own clocks.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    ///
+    /// Popped timestamps are non-decreasing across the queue's lifetime as
+    /// long as no event is scheduled strictly before an already-popped time;
+    /// the returned time is clamped to the previous pop so the simulation
+    /// clock never runs backwards.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        let at = entry.at.max(self.last_popped);
+        self.last_popped = at;
+        Some((at, entry.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at.max(self.last_popped))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events but keeps the sequence counter, so a
+    /// cleared queue still breaks ties deterministically.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for us in [30u64, 10, 20, 5, 25] {
+            q.schedule(SimTime::from_us(us), us);
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![5, 10, 20, 25, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_us(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(42), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_us(42)));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_us(42));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn clock_never_runs_backwards() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(10), "a");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_us(10));
+        // Scheduled in the past: clamped to the last popped instant.
+        q.schedule(SimTime::from_us(3), "b");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::with_capacity(8);
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, 1);
+        q.schedule(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        // Sequence numbering survives clear.
+        q.schedule(SimTime::ZERO, 3);
+        q.schedule(SimTime::ZERO, 4);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+}

@@ -1,0 +1,391 @@
+//! Simulated time.
+//!
+//! The simulation counts nanoseconds in a `u64`, which covers ~584 years of
+//! simulated time — far beyond any experiment. Two newtypes keep *instants*
+//! ([`SimTime`]) and *spans* ([`SimDuration`]) apart so the type system
+//! rejects nonsense like adding two instants.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in simulated time, in nanoseconds since simulation start.
+///
+/// # Example
+///
+/// ```
+/// use tpv_sim::{SimTime, SimDuration};
+/// let t = SimTime::ZERO + SimDuration::from_us(3);
+/// assert_eq!(t.as_ns(), 3_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use tpv_sim::SimDuration;
+/// let d = SimDuration::from_us(2) + SimDuration::from_ns(500);
+/// assert_eq!(d.as_ns(), 2_500);
+/// assert!((d.as_us() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; no event is ever scheduled at or after this instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds an instant from nanoseconds since simulation start.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Builds an instant from microseconds since simulation start.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Builds an instant from milliseconds since simulation start.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Builds an instant from seconds since simulation start.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since simulation start (lossy).
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds since simulation start (lossy).
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is after `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier <= self, "time went backwards: {earlier} > {self}");
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The span from `self` to `later`, or [`SimDuration::ZERO`] if `later`
+    /// is in the past.
+    pub fn until(self, later: SimTime) -> SimDuration {
+        SimDuration(later.0.saturating_sub(self.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Builds a span from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Builds a span from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Builds a span from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Builds a span from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Builds a span from fractional microseconds, rounding to the nearest
+    /// nanosecond. Negative inputs clamp to zero.
+    ///
+    /// This is the workhorse constructor for model parameters expressed in
+    /// microseconds (the paper's natural unit).
+    pub fn from_us_f64(us: f64) -> Self {
+        if us <= 0.0 || !us.is_finite() {
+            return SimDuration::ZERO;
+        }
+        SimDuration((us * 1_000.0).round() as u64)
+    }
+
+    /// Builds a span from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 || !s.is_finite() {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * 1_000_000_000.0).round() as u64)
+    }
+
+    /// Nanoseconds in this span.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds in this span (lossy).
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Milliseconds in this span (lossy).
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Seconds in this span (lossy).
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// True if the span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by a non-negative factor, saturating.
+    ///
+    /// Used for frequency scaling: work that takes `d` at nominal frequency
+    /// takes `d.scale(f_nominal / f_current)` at a lower frequency.
+    pub fn scale(self, factor: f64) -> SimDuration {
+        debug_assert!(factor >= 0.0, "negative duration scale {factor}");
+        let ns = (self.0 as f64 * factor.max(0.0)).round();
+        if ns >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(ns as u64)
+        }
+    }
+
+    /// The longer of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// The shorter of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction of spans.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(rhs <= self, "duration underflow: {self} - {rhs}");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+fn fmt_ns(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ns == 0 {
+        write!(f, "0ns")
+    } else if ns.is_multiple_of(1_000_000_000) {
+        write!(f, "{}s", ns / 1_000_000_000)
+    } else if ns.is_multiple_of(1_000_000) {
+        write!(f, "{}ms", ns / 1_000_000)
+    } else if ns.is_multiple_of(1_000) {
+        write!(f, "{}us", ns / 1_000)
+    } else {
+        write!(f, "{ns}ns")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t=")?;
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+impl From<SimDuration> for std::time::Duration {
+    fn from(d: SimDuration) -> Self {
+        std::time::Duration::from_nanos(d.as_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimDuration::from_us(7).as_ns(), 7_000);
+        assert_eq!(SimDuration::from_ms(3).as_ns(), 3_000_000);
+        assert_eq!(SimDuration::from_secs(2).as_ns(), 2_000_000_000);
+        assert_eq!(SimTime::from_us(7).as_ns(), 7_000);
+        assert_eq!(SimTime::from_secs(1).as_ns(), 1_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic_between_instants_and_spans() {
+        let t0 = SimTime::from_us(100);
+        let t1 = t0 + SimDuration::from_us(50);
+        assert_eq!(t1 - t0, SimDuration::from_us(50));
+        assert_eq!(t1.since(t0).as_us(), 50.0);
+        assert_eq!(t0.until(t1).as_us(), 50.0);
+        assert_eq!(t1.until(t0), SimDuration::ZERO);
+        assert_eq!(t1 - SimDuration::from_us(150), SimTime::ZERO);
+    }
+
+    #[test]
+    fn fractional_microsecond_constructor_rounds() {
+        assert_eq!(SimDuration::from_us_f64(2.5).as_ns(), 2_500);
+        assert_eq!(SimDuration::from_us_f64(0.0004).as_ns(), 0);
+        assert_eq!(SimDuration::from_us_f64(0.0006).as_ns(), 1);
+        assert_eq!(SimDuration::from_us_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_us_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_ns(), 1_500_000_000);
+    }
+
+    #[test]
+    fn scaling_is_saturating_and_proportional() {
+        let d = SimDuration::from_us(10);
+        assert_eq!(d.scale(2.0).as_ns(), 20_000);
+        assert_eq!(d.scale(0.5).as_ns(), 5_000);
+        assert_eq!(d.scale(0.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::MAX.scale(2.0), SimDuration::MAX);
+    }
+
+    #[test]
+    fn min_max_sum() {
+        let a = SimDuration::from_us(3);
+        let b = SimDuration::from_us(5);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let total: SimDuration = [a, b, a].into_iter().sum();
+        assert_eq!(total.as_us(), 11.0);
+        assert_eq!(SimTime::from_us(1).max(SimTime::from_us(2)).as_us(), 2.0);
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(SimDuration::from_ns(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_us(12).to_string(), "12us");
+        assert_eq!(SimDuration::from_ms(12).to_string(), "12ms");
+        assert_eq!(SimDuration::from_secs(12).to_string(), "12s");
+        assert_eq!(SimDuration::ZERO.to_string(), "0ns");
+        assert_eq!(SimTime::from_ms(1).to_string(), "t=1ms");
+    }
+
+    #[test]
+    fn saturating_ops_do_not_wrap() {
+        assert_eq!(SimDuration::from_us(1).saturating_sub(SimDuration::from_us(2)), SimDuration::ZERO);
+        assert_eq!(SimTime::MAX + SimDuration::from_us(1), SimTime::MAX);
+    }
+
+    #[test]
+    fn std_duration_conversion() {
+        let d: std::time::Duration = SimDuration::from_ms(5).into();
+        assert_eq!(d.as_millis(), 5);
+    }
+}

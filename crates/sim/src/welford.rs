@@ -1,0 +1,150 @@
+//! Streaming mean/variance via Welford's online algorithm.
+
+/// Numerically stable streaming accumulator for mean and variance.
+///
+/// # Example
+///
+/// ```
+/// use tpv_sim::Welford;
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 5.0);
+/// assert_eq!(w.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by n; 0 when fewer than 1 sample).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by n−1; 0 when fewer than 2 samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Merges another accumulator (Chan et al. parallel combination).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0).collect();
+        let mut w = Welford::new();
+        xs.iter().for_each(|&x| w.push(x));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-9);
+        assert!((w.sample_variance() - var).abs() < 1e-9);
+        assert_eq!(w.count(), 1000);
+    }
+
+    #[test]
+    fn empty_and_single_sample_edge_cases() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        let mut w1 = Welford::new();
+        w1.push(42.0);
+        assert_eq!(w1.mean(), 42.0);
+        assert_eq!(w1.sample_variance(), 0.0);
+        assert_eq!(w1.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| i as f64 * 1.5).collect();
+        let ys: Vec<f64> = (0..300).map(|i| 1000.0 - i as f64).collect();
+        let mut a = Welford::new();
+        xs.iter().for_each(|&x| a.push(x));
+        let mut b = Welford::new();
+        ys.iter().for_each(|&y| b.push(y));
+        a.merge(&b);
+        let mut all = Welford::new();
+        xs.iter().chain(ys.iter()).for_each(|&x| all.push(x));
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-6);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.count(), a.mean(), a.sample_variance());
+        a.merge(&Welford::new());
+        assert_eq!((a.count(), a.mean(), a.sample_variance()), before);
+        let mut empty = Welford::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.mean(), 2.0);
+    }
+}

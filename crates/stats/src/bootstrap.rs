@@ -1,0 +1,130 @@
+//! Percentile-bootstrap confidence intervals.
+//!
+//! A third CI method alongside the paper's parametric (Eq. 3 family) and
+//! order-statistic non-parametric (Eq. 1/2) intervals. Bootstrap CIs work
+//! for *any* statistic — e.g. the per-run p99s the paper plots but never
+//! puts intervals on — and give the experiment framework a way to attach
+//! uncertainty to medians-of-tails without distributional assumptions.
+
+use crate::ci::ConfidenceInterval;
+use tpv_sim::SimRng;
+
+/// Percentile-bootstrap CI for an arbitrary statistic.
+///
+/// Resamples `xs` with replacement `resamples` times, evaluates
+/// `statistic` on each resample, and returns the empirical
+/// `(1±level)/2` quantiles of the resulting distribution.
+///
+/// Returns `None` for fewer than 2 samples.
+///
+/// # Panics
+///
+/// Panics unless `level ∈ (0,1)` and `resamples ≥ 100`.
+///
+/// # Example
+///
+/// ```
+/// use tpv_stats::bootstrap::bootstrap_ci;
+/// use tpv_stats::desc;
+/// use tpv_sim::SimRng;
+///
+/// let xs: Vec<f64> = (0..50).map(|i| 100.0 + (i % 7) as f64).collect();
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let ci = bootstrap_ci(&xs, desc::median, 0.95, 1000, &mut rng).unwrap();
+/// assert!(ci.contains(desc::median(&xs)));
+/// ```
+pub fn bootstrap_ci(
+    xs: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    level: f64,
+    resamples: usize,
+    rng: &mut SimRng,
+) -> Option<ConfidenceInterval> {
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1), got {level}");
+    assert!(resamples >= 100, "bootstrap needs at least 100 resamples, got {resamples}");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mid = statistic(xs);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            *slot = xs[rng.next_index(n)];
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN statistic"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((alpha * resamples as f64) as usize).min(resamples - 1);
+    let hi_idx = (((1.0 - alpha) * resamples as f64) as usize).min(resamples - 1);
+    Some(ConfidenceInterval { low: stats[lo_idx].min(mid), mid, high: stats[hi_idx].max(mid), level })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc;
+    use tpv_sim::dist::{Normal, Sampler};
+
+    #[test]
+    fn median_ci_brackets_the_median_and_shrinks_with_n() {
+        let d = Normal::new(100.0, 5.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let small: Vec<f64> = (0..20).map(|_| d.sample(&mut rng)).collect();
+        let large: Vec<f64> = (0..500).map(|_| d.sample(&mut rng)).collect();
+        let ci_small = bootstrap_ci(&small, desc::median, 0.95, 1000, &mut rng).unwrap();
+        let ci_large = bootstrap_ci(&large, desc::median, 0.95, 1000, &mut rng).unwrap();
+        assert!(ci_small.contains(desc::median(&small)));
+        assert!(ci_large.contains(desc::median(&large)));
+        assert!(
+            ci_large.high - ci_large.low < ci_small.high - ci_small.low,
+            "CI must shrink with sample size"
+        );
+    }
+
+    #[test]
+    fn works_for_tail_statistics() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..200).map(|_| rng.next_f64() * 100.0).collect();
+        let p90 = |v: &[f64]| desc::percentile(v, 90.0);
+        let ci = bootstrap_ci(&xs, p90, 0.95, 800, &mut rng).unwrap();
+        assert!(ci.contains(p90(&xs)));
+        assert!(ci.low > 70.0 && ci.high < 100.0, "{ci:?}");
+    }
+
+    #[test]
+    fn coverage_is_approximately_nominal() {
+        // True median of Uniform(0,1) is 0.5; check ~95% coverage.
+        let mut rng = SimRng::seed_from_u64(3);
+        let trials = 150;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let xs: Vec<f64> = (0..60).map(|_| rng.next_f64()).collect();
+            let ci = bootstrap_ci(&xs, desc::median, 0.95, 400, &mut rng).unwrap();
+            if ci.contains(0.5) {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / trials as f64;
+        assert!(rate > 0.85, "coverage {rate}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = SimRng::seed_from_u64(4);
+        assert!(bootstrap_ci(&[1.0], desc::median, 0.95, 200, &mut rng).is_none());
+        // Constant data: zero-width interval.
+        let ci = bootstrap_ci(&[5.0; 30], desc::median, 0.95, 200, &mut rng).unwrap();
+        assert_eq!(ci.low, 5.0);
+        assert_eq!(ci.high, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 100 resamples")]
+    fn too_few_resamples_panics() {
+        let mut rng = SimRng::seed_from_u64(5);
+        bootstrap_ci(&[1.0, 2.0], desc::median, 0.95, 10, &mut rng);
+    }
+}

@@ -1,0 +1,170 @@
+//! Descriptive statistics over sample sets, plus Little's law.
+
+pub use tpv_sim::Welford;
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator). Returns 0 for n < 2.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Coefficient of variation, `std_dev / mean`. Returns 0 if the mean is 0.
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        0.0
+    } else {
+        std_dev(xs) / m
+    }
+}
+
+/// Returns a sorted copy of the samples.
+///
+/// # Panics
+///
+/// Panics if any value is NaN (samples must be comparable).
+pub fn sorted(xs: &[f64]) -> Vec<f64> {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample set"));
+    v
+}
+
+/// Median of the samples (mean of the two central order statistics for
+/// even n). Returns 0 for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let v = sorted(xs);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// The `p`-th percentile (nearest-rank on the sorted samples).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or the slice is empty.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    assert!(!xs.is_empty(), "percentile of empty sample set");
+    let v = sorted(xs);
+    let rank = ((p / 100.0) * v.len() as f64).ceil().max(1.0) as usize;
+    v[rank.min(v.len()) - 1]
+}
+
+/// Sample skewness (adjusted Fisher–Pearson). Returns 0 for n < 3.
+///
+/// Positive skew — a long right tail — is the signature of the queueing-
+/// dominated high-QPS configurations in the paper's Fig. 9.
+pub fn skewness(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s == 0.0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let m3 = xs.iter().map(|x| ((x - m) / s).powi(3)).sum::<f64>();
+    m3 * nf / ((nf - 1.0) * (nf - 2.0))
+}
+
+/// Little's law: mean concurrency `L = λ·W`.
+///
+/// The paper uses this to bound the synthetic-workload QPS so that the
+/// offered concurrency stays below the worker count (§V-B).
+pub fn littles_law_concurrency(arrival_rate_per_sec: f64, mean_latency_secs: f64) -> f64 {
+    arrival_rate_per_sec * mean_latency_secs
+}
+
+/// The largest arrival rate that keeps `L = λ·W` at or below `max_concurrency`.
+///
+/// # Panics
+///
+/// Panics unless `mean_latency_secs > 0`.
+pub fn littles_law_max_rate(max_concurrency: f64, mean_latency_secs: f64) -> f64 {
+    assert!(mean_latency_secs > 0.0, "latency must be positive");
+    max_concurrency / mean_latency_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(median(&xs), 4.5);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_length() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn skewness_signs() {
+        let right_skewed = [1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 10.0, 20.0];
+        assert!(skewness(&right_skewed) > 1.0);
+        let symmetric = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        assert!(skewness(&symmetric).abs() < 1e-12);
+        assert_eq!(skewness(&[1.0, 2.0]), 0.0);
+        assert_eq!(skewness(&[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn littles_law_round_trip() {
+        // 10 workers, 500 µs latency ⇒ max 20 000 QPS — the paper's bound
+        // for the synthetic workload sweep.
+        let max_rate = littles_law_max_rate(10.0, 500e-6);
+        assert!((max_rate - 20_000.0).abs() < 1e-9);
+        assert!((littles_law_concurrency(max_rate, 500e-6) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_is_scale_free() {
+        let xs = [10.0, 12.0, 8.0, 11.0, 9.0];
+        let scaled: Vec<f64> = xs.iter().map(|x| x * 7.0).collect();
+        assert!((coefficient_of_variation(&xs) - coefficient_of_variation(&scaled)).abs() < 1e-12);
+        assert_eq!(coefficient_of_variation(&[0.0, 0.0]), 0.0);
+    }
+}

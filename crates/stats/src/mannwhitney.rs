@@ -1,0 +1,146 @@
+//! Mann–Whitney U test: a non-parametric two-sample comparison.
+//!
+//! The paper's decision rule is CI overlap; Mann–Whitney is the classical
+//! alternative for the same question ("do these two configurations
+//! differ?") without normality assumptions. Provided for methodology
+//! ablations: `tpv-core`'s verdicts can be cross-checked against it (see
+//! the `ext_verdict_methods` experiment).
+
+use crate::dist_fn::norm_sf;
+
+/// Result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitney {
+    /// The U statistic for the first sample.
+    pub u: f64,
+    /// Two-sided p-value (normal approximation with tie correction).
+    pub p_value: f64,
+    /// Rank-biserial effect size in `[-1, 1]`; negative means the first
+    /// sample tends smaller.
+    pub effect_size: f64,
+}
+
+impl MannWhitney {
+    /// Whether the two samples differ at significance level `alpha`.
+    pub fn differs(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sided Mann–Whitney U test between samples `xs` and `ys`.
+///
+/// Uses the normal approximation with tie correction, which is accurate
+/// for n ≥ ~8 per group (the paper's 20–50 runs are comfortably inside).
+///
+/// Returns `None` if either sample has fewer than 2 values or all values
+/// are identical.
+pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Option<MannWhitney> {
+    let n1 = xs.len();
+    let n2 = ys.len();
+    if n1 < 2 || n2 < 2 {
+        return None;
+    }
+    // Joint ranking with average ranks for ties.
+    let mut all: Vec<(f64, usize)> = xs
+        .iter()
+        .map(|&v| (v, 0usize))
+        .chain(ys.iter().map(|&v| (v, 1usize)))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN sample"));
+
+    let n = all.len();
+    let mut rank_sum_x = 0.0f64;
+    let mut tie_term = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_term += t * t * t - t;
+        }
+        for item in &all[i..=j] {
+            if item.1 == 0 {
+                rank_sum_x += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+
+    let n1f = n1 as f64;
+    let n2f = n2 as f64;
+    let u1 = rank_sum_x - n1f * (n1f + 1.0) / 2.0;
+    let mean_u = n1f * n2f / 2.0;
+    let nf = n as f64;
+    let var_u = n1f * n2f / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
+    if var_u <= 0.0 {
+        return None; // all values tied
+    }
+    // Continuity correction.
+    let z = (u1 - mean_u - 0.5 * (u1 - mean_u).signum()) / var_u.sqrt();
+    let p_value = (2.0 * norm_sf(z.abs())).min(1.0);
+    let effect_size = 2.0 * u1 / (n1f * n2f) - 1.0;
+    Some(MannWhitney { u: u1, p_value, effect_size })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpv_sim::dist::{Normal, Sampler};
+    use tpv_sim::SimRng;
+
+    #[test]
+    fn separated_samples_differ() {
+        let xs: Vec<f64> = (0..30).map(|i| 100.0 + (i % 5) as f64).collect();
+        let ys: Vec<f64> = (0..30).map(|i| 200.0 + (i % 5) as f64).collect();
+        let r = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(r.differs(0.01), "p = {}", r.p_value);
+        assert!(r.effect_size < -0.95, "effect {}", r.effect_size);
+        // Symmetric in the other direction.
+        let r2 = mann_whitney_u(&ys, &xs).unwrap();
+        assert!(r2.effect_size > 0.95);
+        assert!((r.p_value - r2.p_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_distributions_do_not_differ() {
+        let d = Normal::new(50.0, 5.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let trials = 200;
+        let mut rejections = 0;
+        for _ in 0..trials {
+            let xs: Vec<f64> = (0..25).map(|_| d.sample(&mut rng)).collect();
+            let ys: Vec<f64> = (0..25).map(|_| d.sample(&mut rng)).collect();
+            if mann_whitney_u(&xs, &ys).unwrap().differs(0.05) {
+                rejections += 1;
+            }
+        }
+        let rate = rejections as f64 / trials as f64;
+        assert!(rate < 0.12, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn detects_small_shifts_with_enough_samples() {
+        let a = Normal::new(100.0, 2.0);
+        let b = Normal::new(102.0, 2.0);
+        let mut rng = SimRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..50).map(|_| a.sample(&mut rng)).collect();
+        let ys: Vec<f64> = (0..50).map(|_| b.sample(&mut rng)).collect();
+        let r = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(r.differs(0.05), "p = {}", r.p_value);
+        assert!(r.effect_size < 0.0, "xs should rank lower");
+    }
+
+    #[test]
+    fn handles_ties_and_degenerate_input() {
+        let xs = [1.0, 1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 2.0, 3.0, 3.0];
+        let r = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(!r.differs(0.05));
+        assert!(mann_whitney_u(&[1.0], &[2.0, 3.0]).is_none());
+        assert!(mann_whitney_u(&[5.0, 5.0], &[5.0, 5.0]).is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! Capacity planning: the paper's datacenter ramification (§V-A).
+//!
+//! "Let us assume a service with a QoS of 99th percentile latency equal to
+//! 400us. The LP client finds that the service can handle only 300K
+//! queries without violating any QoS constraints. In contrast, the HP
+//! client finds that the service can handle 500K queries. In other words,
+//! the LP client determines that a deployment will require 1.6x more
+//! machines than the HP client."
+//!
+//! This example reruns that provisioning exercise on the simulated
+//! testbed.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use tpv::core::scenarios::MEMCACHED_QPS;
+use tpv::prelude::*;
+
+const QOS_P99_US: f64 = 400.0;
+const TARGET_LOAD_QPS: f64 = 1_000_000.0; // the fleet must sustain this
+
+fn main() {
+    let experiment = Experiment::builder(Benchmark::memcached())
+        .client(MachineConfig::low_power())
+        .client(MachineConfig::high_performance())
+        .server(ServerScenario::baseline())
+        .qps(&MEMCACHED_QPS)
+        .runs(15)
+        .run_duration(SimDuration::from_ms(300))
+        .seed(7)
+        .build();
+    let results = experiment.run();
+
+    println!("QoS target: p99 <= {QOS_P99_US} us\n");
+    println!("qps      | LP p99 (us) | HP p99 (us)");
+    let mut max_ok = std::collections::HashMap::from([("LP", 0f64), ("HP", 0f64)]);
+    for &q in &MEMCACHED_QPS {
+        let lp = results.cell("LP", "SMToff", q).unwrap().summary().p99_median_us();
+        let hp = results.cell("HP", "SMToff", q).unwrap().summary().p99_median_us();
+        for (client, p99) in [("LP", lp), ("HP", hp)] {
+            if p99 <= QOS_P99_US {
+                let e = max_ok.get_mut(client).unwrap();
+                *e = e.max(q);
+            }
+        }
+        println!("{:>8} | {lp:>11.1} | {hp:>11.1}", q as u64);
+    }
+
+    let lp_cap = max_ok["LP"];
+    let hp_cap = max_ok["HP"];
+    println!("\nper-machine capacity under QoS:");
+    println!("  measured with the LP client: {lp_cap:>9} QPS");
+    println!("  measured with the HP client: {hp_cap:>9} QPS");
+
+    if lp_cap > 0.0 && hp_cap > 0.0 {
+        let lp_machines = (TARGET_LOAD_QPS / lp_cap).ceil();
+        let hp_machines = (TARGET_LOAD_QPS / hp_cap).ceil();
+        println!("\nfleet sizing for {TARGET_LOAD_QPS} QPS:");
+        println!("  provisioned from LP measurements: {lp_machines} machines");
+        println!("  provisioned from HP measurements: {hp_machines} machines");
+        println!(
+            "  => the untuned client overprovisions by {:.2}x (paper: 1.6x)",
+            lp_machines / hp_machines
+        );
+    } else {
+        println!("\n(one client never met the QoS target at the tested loads)");
+    }
+}

@@ -1,0 +1,62 @@
+//! Iteration planning: how many runs does *your* configuration need, and
+//! how long will the evaluation take? (§III methods + §V-C analysis.)
+//!
+//! Runs a pilot of each client configuration, tests normality, applies
+//! Jain's Eq. (3) and CONFIRM, and prices the paper-scale evaluation
+//! (2-minute runs) in wall-clock terms.
+//!
+//! Run with: `cargo run --release --example iteration_planner`
+
+use tpv::core::analysis::{evaluation_time, iteration_estimate};
+use tpv::prelude::*;
+use tpv::sim::SimRng;
+
+fn main() {
+    let pilot = Experiment::builder(Benchmark::memcached())
+        .client(MachineConfig::low_power())
+        .client(MachineConfig::high_performance())
+        .server(ServerScenario::baseline())
+        .qps(&[10_000.0, 300_000.0])
+        .runs(30)
+        .run_duration(SimDuration::from_ms(300))
+        .seed(99)
+        .build();
+    let results = pilot.run();
+
+    let paper_run = SimDuration::from_secs(120);
+    let mut rng = SimRng::seed_from_u64(5);
+
+    println!("pilot: 30 runs/cell. Target: 1% error at 95% confidence.\n");
+    println!("cell           | normal? | Jain n | CONFIRM | eval time @ 2 min/run");
+    for client in ["LP", "HP"] {
+        for &q in &[10_000.0, 300_000.0] {
+            let summary = results.cell(client, "SMToff", q).unwrap().summary();
+            let est = iteration_estimate(&summary, &mut rng);
+            let normal = match est.shapiro_pass {
+                Some(true) => "yes",
+                Some(false) => "no",
+                None => "n/a",
+            };
+            // The paper's rule: trust the parametric count only when the
+            // samples look normal; otherwise go non-parametric.
+            let chosen = if est.shapiro_pass == Some(true) {
+                est.parametric
+            } else {
+                est.confirm.lower_bound()
+            };
+            let eval = evaluation_time(chosen, paper_run);
+            println!(
+                "{client:<3} @ {q:>7.0} | {normal:>7} | {:>6} | {:>7} | {:>6.1} min",
+                est.parametric,
+                est.confirm.to_string(),
+                eval.as_secs() / 60.0
+            );
+        }
+    }
+    println!(
+        "\nReading: the untuned (LP) client needs an order of magnitude more \
+         repetitions at low load to reach the same confidence — Finding 4. \
+         Client configuration is not just an accuracy question; it prices \
+         your evaluation time."
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: measure the same server with two client configurations and
+//! watch the measurements disagree — the paper's core observation in ~40
+//! lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tpv::prelude::*;
+
+fn main() {
+    // A memcached-style service driven by a mutilate-style generator
+    // (open-loop, time-sensitive block-wait, in-app measurement).
+    let experiment = Experiment::builder(Benchmark::memcached())
+        // The client-side configurations of the paper's Table II.
+        .client(MachineConfig::low_power())
+        .client(MachineConfig::high_performance())
+        // The same server for both.
+        .server(ServerScenario::baseline())
+        .qps(&[100_000.0])
+        .runs(15)
+        .run_duration(SimDuration::from_ms(300))
+        .seed(42)
+        .build();
+
+    let results = experiment.run();
+
+    let lp = results.cell("LP", "SMToff", 100_000.0).unwrap().summary();
+    let hp = results.cell("HP", "SMToff", 100_000.0).unwrap().summary();
+
+    println!("same server, same load (100K QPS), different *client* machines:\n");
+    println!(
+        "  low-power client measures:        avg {:>6.1} us   p99 {:>6.1} us",
+        lp.avg_median_us(),
+        lp.p99_median_us()
+    );
+    println!(
+        "  high-performance client measures: avg {:>6.1} us   p99 {:>6.1} us",
+        hp.avg_median_us(),
+        hp.p99_median_us()
+    );
+    println!(
+        "\n  the untuned client inflates the average by {:.0}% and the tail by {:.0}%,",
+        (lp.avg_median_us() / hp.avg_median_us() - 1.0) * 100.0,
+        (lp.p99_median_us() / hp.p99_median_us() - 1.0) * 100.0
+    );
+    println!("  without anything changing on the machine being measured.");
+
+    // The paper's §VI advice for this generator type:
+    let rec = recommend(
+        &tpv::loadgen::GeneratorSpec::mutilate(),
+        &tpv::core::recommend::TargetEnvironment::Unknown,
+        Some(lp.avg_samples_us()),
+    );
+    println!("\nrecommendation for this (time-sensitive) generator: {:?}", rec.tuning);
+    for c in &rec.caveats {
+        println!("  caveat: {c}");
+    }
+}

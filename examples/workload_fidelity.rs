@@ -1,0 +1,46 @@
+//! Lancet-style self-checks: let the generator judge its own output.
+//!
+//! The paper's related work points to Lancet, which validates its own
+//! request stream statistically instead of trusting the configuration.
+//! This example runs those checks over traced runs: the HP client's
+//! stream passes; the LP client's stream flags itself as disrupted —
+//! catching the paper's risky scenario *from inside the experiment*.
+//!
+//! Run with: `cargo run --release --example workload_fidelity`
+
+use tpv::core::fidelity::assess;
+use tpv::core::runtime::{run_traced, RunSpec};
+use tpv::loadgen::GeneratorSpec;
+use tpv::net::LinkConfig;
+use tpv::prelude::*;
+use tpv::services::{kv::KvConfig, ServiceConfig, ServiceKind};
+
+fn main() {
+    let service = ServiceConfig::new(ServiceKind::Memcached(KvConfig::default()));
+    let server = MachineConfig::server_baseline();
+    let generator = GeneratorSpec::mutilate();
+    let link = LinkConfig::cloudlab_lan();
+
+    for (label, client) in [("LP", MachineConfig::low_power()), ("HP", MachineConfig::high_performance())] {
+        for qps in [10_000.0, 300_000.0] {
+            let spec = RunSpec {
+                service: &service,
+                server: &server,
+                client: &client,
+                generator: &generator,
+                link: &link,
+                qps,
+                duration: SimDuration::from_ms(300),
+                warmup: SimDuration::from_ms(30),
+            };
+            let (result, trace) = run_traced(&spec, 7, 50_000);
+            let report = assess(&result, &trace);
+            println!("{label} client @ {qps:>7.0} QPS:");
+            println!("  {}", report.summary());
+            println!(
+                "  verdict: workload {}\n",
+                if report.workload_faithful() { "FAITHFUL — measurements represent the configured load" } else { "DISRUPTED — fix the client before trusting these numbers" }
+            );
+        }
+    }
+}

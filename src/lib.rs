@@ -1,0 +1,53 @@
+//! # tpv — Taming Performance Variability caused by Client-Side Hardware Configuration
+//!
+//! A full Rust reproduction of Antoniou, Volos & Sazeides (IISWC 2024).
+//! This facade crate re-exports the whole workspace; see the individual
+//! crates for details:
+//!
+//! * [`sim`] — discrete-event simulation substrate.
+//! * [`hw`] — hardware configuration knobs of Table II.
+//! * [`net`] — NIC/kernel/link timing models.
+//! * [`services`] — Memcached-like KV, HDSearch (LSH), Social Network, Synthetic.
+//! * [`loadgen`] — the workload-generator taxonomy of §II.
+//! * [`stats`] — the statistics toolkit of §III.
+//! * [`core`] — the experiment framework, analysis and recommendations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tpv::prelude::*;
+//!
+//! // Evaluate Memcached at 100K QPS with a low-power and a
+//! // high-performance client, 5 runs each.
+//! let experiment = Experiment::builder(Benchmark::memcached())
+//!     .client(MachineConfig::low_power())
+//!     .client(MachineConfig::high_performance())
+//!     .server(ServerScenario::baseline())
+//!     .qps(&[100_000.0])
+//!     .runs(5)
+//!     .run_duration(SimDuration::from_ms(50))
+//!     .seed(1)
+//!     .build();
+//! let results = experiment.run();
+//! let cell = &results.cells()[0];
+//! assert!(cell.summary().avg_median_us() > 0.0);
+//! ```
+
+pub use tpv_core as core;
+pub use tpv_hw as hw;
+pub use tpv_loadgen as loadgen;
+pub use tpv_net as net;
+pub use tpv_services as services;
+pub use tpv_sim as sim;
+pub use tpv_stats as stats;
+
+/// The most common imports for running experiments.
+pub mod prelude {
+    pub use tpv_core::analysis::{Comparison, Summary, Verdict};
+    pub use tpv_core::experiment::{Benchmark, Experiment, ExperimentResults, ServerScenario};
+    pub use tpv_core::recommend::{recommend, Recommendation};
+    pub use tpv_hw::{CState, MachineConfig};
+    pub use tpv_loadgen::{LoopMode, PointOfMeasurement, TimingMode};
+    pub use tpv_sim::{SimDuration, SimTime};
+    pub use tpv_stats::ci::ConfidenceInterval;
+}

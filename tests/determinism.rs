@@ -1,0 +1,99 @@
+//! End-to-end determinism: the whole point of a seeded simulation is that
+//! every paper claim is a reproducible assertion. Same seed ⇒ bit-identical
+//! results, for every benchmark service, regardless of execution strategy.
+
+use tpv::core::runtime::{run_once, RunSpec};
+use tpv::hw::MachineConfig;
+use tpv::loadgen::GeneratorSpec;
+use tpv::net::LinkConfig;
+use tpv::services::hdsearch::HdSearchConfig;
+use tpv::services::kv::KvConfig;
+use tpv::services::socialnet::SocialConfig;
+use tpv::services::synthetic::SyntheticConfig;
+use tpv::services::{ServiceConfig, ServiceKind};
+use tpv::sim::SimDuration;
+
+fn services() -> Vec<(ServiceConfig, GeneratorSpec, f64, u64)> {
+    vec![
+        (
+            ServiceConfig::new(ServiceKind::Memcached(KvConfig { preload_keys: 2_000, ..KvConfig::default() })),
+            GeneratorSpec::mutilate(),
+            100_000.0,
+            40,
+        ),
+        (
+            ServiceConfig::new(ServiceKind::HdSearch(HdSearchConfig {
+                dataset_size: 512,
+                profile_queries: 32,
+                ..HdSearchConfig::default()
+            })),
+            GeneratorSpec::microsuite_client(),
+            1_000.0,
+            200,
+        ),
+        (
+            ServiceConfig::new(ServiceKind::SocialNetwork(SocialConfig { users: 200, ..SocialConfig::default() })),
+            GeneratorSpec::wrk2(),
+            300.0,
+            400,
+        ),
+        (
+            ServiceConfig::new(ServiceKind::Synthetic(SyntheticConfig::with_delay(SimDuration::from_us(100)))),
+            GeneratorSpec::synthetic_client(),
+            10_000.0,
+            60,
+        ),
+    ]
+}
+
+#[test]
+fn same_seed_is_bit_identical_for_every_service() {
+    for (service, generator, qps, ms) in services() {
+        let client = MachineConfig::low_power();
+        let server = MachineConfig::server_baseline();
+        let link = LinkConfig::cloudlab_lan();
+        let spec = RunSpec {
+            service: &service,
+            server: &server,
+            client: &client,
+            generator: &generator,
+            link: &link,
+            qps,
+            duration: SimDuration::from_ms(ms),
+            warmup: SimDuration::from_ms(ms / 10),
+        };
+        let a = run_once(&spec, 12345);
+        let b = run_once(&spec, 12345);
+        assert_eq!(a, b, "{} not deterministic", service.kind.name());
+        assert!(a.samples > 0, "{} produced no samples", service.kind.name());
+        let c = run_once(&spec, 54321);
+        assert_ne!(a, c, "{} ignored the seed", service.kind.name());
+    }
+}
+
+#[test]
+fn seeds_change_results_but_not_their_scale() {
+    let service = ServiceConfig::new(ServiceKind::Memcached(KvConfig {
+        preload_keys: 2_000,
+        ..KvConfig::default()
+    }));
+    let client = MachineConfig::high_performance();
+    let server = MachineConfig::server_baseline();
+    let generator = GeneratorSpec::mutilate();
+    let link = LinkConfig::cloudlab_lan();
+    let spec = RunSpec {
+        service: &service,
+        server: &server,
+        client: &client,
+        generator: &generator,
+        link: &link,
+        qps: 100_000.0,
+        duration: SimDuration::from_ms(50),
+        warmup: SimDuration::from_ms(5),
+    };
+    let avgs: Vec<f64> = (0..5).map(|s| run_once(&spec, s).avg_us()).collect();
+    let min = avgs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = avgs.iter().cloned().fold(0.0f64, f64::max);
+    assert!(min > 20.0 && max < 200.0, "avg out of plausible range: {avgs:?}");
+    assert!(max / min < 1.5, "run-to-run spread implausibly large for HP: {avgs:?}");
+}

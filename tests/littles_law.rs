@@ -1,0 +1,57 @@
+//! Validates the testbed against Little's law and the paper's synthetic-
+//! workload linearity check ("the response time increases linearly with
+//! the increase of the added delay which validates the implementation").
+
+use tpv::prelude::*;
+use tpv::stats::desc::littles_law_concurrency;
+
+fn synthetic_avg_us(delay_us: u64, qps: f64, seed: u64) -> (f64, f64) {
+    let results = Experiment::builder(Benchmark::synthetic(SimDuration::from_us(delay_us)))
+        .client(MachineConfig::high_performance())
+        .server(ServerScenario::baseline())
+        .qps(&[qps])
+        .runs(5)
+        .run_duration(SimDuration::from_ms(80))
+        .seed(seed)
+        .build()
+        .run();
+    let cell = results.cell("HP", "SMToff", qps).unwrap();
+    let achieved = cell.samples.iter().map(|r| r.achieved_qps).sum::<f64>() / cell.samples.len() as f64;
+    (cell.summary().avg_median_us(), achieved)
+}
+
+#[test]
+fn response_grows_linearly_with_added_delay_at_low_load() {
+    // 2K QPS: negligible queueing; each 200us of delay adds ~200us
+    // end-to-end (mild queueing growth is expected and bounded).
+    let (a0, _) = synthetic_avg_us(0, 2_000.0, 1);
+    let (a200, _) = synthetic_avg_us(200, 2_000.0, 2);
+    let (a400, _) = synthetic_avg_us(400, 2_000.0, 3);
+    let d1 = a200 - a0;
+    let d2 = a400 - a200;
+    assert!((d1 - 200.0).abs() < 40.0, "0->200us step added {d1:.1}us");
+    assert!((d2 - 200.0).abs() < 40.0, "200->400us step added {d2:.1}us");
+}
+
+#[test]
+fn littles_law_concurrency_stays_below_worker_count() {
+    // The paper bounds its synthetic QPS so concurrency < 10 workers.
+    for (delay_us, qps) in [(400u64, 20_000.0f64), (100, 20_000.0), (400, 5_000.0)] {
+        let (avg_us, achieved) = synthetic_avg_us(delay_us, qps, 7 + delay_us);
+        // Use the server-side portion (approximately service time) for L.
+        let service_secs = (delay_us as f64 + 10.0) * 1e-6;
+        let concurrency = littles_law_concurrency(achieved, service_secs);
+        assert!(
+            concurrency < 10.5,
+            "delay {delay_us}us @ {qps} QPS: concurrency {concurrency:.1} exceeds workers"
+        );
+        assert!(avg_us > delay_us as f64, "avg must include the added delay");
+    }
+}
+
+#[test]
+fn achieved_rate_tracks_offered_rate_when_unsaturated() {
+    let (_, achieved) = synthetic_avg_us(100, 10_000.0, 42);
+    let ratio = achieved / 10_000.0;
+    assert!((0.9..1.1).contains(&ratio), "achieved/offered = {ratio:.3}");
+}

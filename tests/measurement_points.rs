@@ -1,0 +1,57 @@
+//! Point-of-measurement invariants at the whole-testbed level (§II):
+//! NIC ≤ kernel ≤ in-app timestamps, which means NIC-measured latency is
+//! a lower bound and the client-side inflation lives above the NIC.
+
+use tpv::loadgen::PointOfMeasurement;
+use tpv::prelude::*;
+use tpv::services::kv::KvConfig;
+use tpv::services::{ServiceConfig, ServiceKind};
+
+fn run_with_pom(pom: PointOfMeasurement, client: MachineConfig, seed: u64) -> f64 {
+    let mut bench = Benchmark::memcached();
+    bench.service = ServiceConfig::new(ServiceKind::Memcached(KvConfig {
+        preload_keys: 2_000,
+        ..KvConfig::default()
+    }));
+    bench.generator = bench.generator.with_pom(pom);
+    let results = Experiment::builder(bench)
+        .client(client)
+        .server(ServerScenario::baseline())
+        .qps(&[50_000.0])
+        .runs(6)
+        .run_duration(SimDuration::from_ms(60))
+        .seed(seed)
+        .build()
+        .run();
+    results.cells()[0].summary().avg_median_us()
+}
+
+#[test]
+fn measurement_points_are_ordered_for_lp() {
+    let nic = run_with_pom(PointOfMeasurement::Nic, MachineConfig::low_power(), 5);
+    let kernel = run_with_pom(PointOfMeasurement::Kernel, MachineConfig::low_power(), 5);
+    let app = run_with_pom(PointOfMeasurement::InApp, MachineConfig::low_power(), 5);
+    assert!(nic <= kernel + 1.0, "nic {nic:.1} > kernel {kernel:.1}");
+    assert!(kernel <= app + 1.0, "kernel {kernel:.1} > app {app:.1}");
+    // On LP, the app-level stamp carries the big wake-path inflation.
+    assert!(app > nic + 20.0, "LP in-app inflation missing: nic {nic:.1}, app {app:.1}");
+}
+
+#[test]
+fn nic_measurements_nearly_agree_across_clients() {
+    // Hardware timestamps bypass the client's wake path: LP and HP agree
+    // (up to the send-side schedule disruption, which stays small at low
+    // load).
+    let lp = run_with_pom(PointOfMeasurement::Nic, MachineConfig::low_power(), 9);
+    let hp = run_with_pom(PointOfMeasurement::Nic, MachineConfig::high_performance(), 9);
+    let gap = lp / hp;
+    assert!(gap < 1.25, "NIC-level LP/HP gap should be small, got {gap:.2}");
+}
+
+#[test]
+fn in_app_measurements_disagree_across_clients() {
+    let lp = run_with_pom(PointOfMeasurement::InApp, MachineConfig::low_power(), 9);
+    let hp = run_with_pom(PointOfMeasurement::InApp, MachineConfig::high_performance(), 9);
+    let gap = lp / hp;
+    assert!(gap > 1.4, "in-app LP/HP gap should be large, got {gap:.2}");
+}

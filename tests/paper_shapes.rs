@@ -1,0 +1,116 @@
+//! Reduced-scale checks of the paper's Findings 1–3 — the inequalities
+//! that must hold for the reproduction to be meaningful. (Full-scale
+//! regeneration lives in `tpv-bench`; these run in CI time budgets.)
+
+use tpv::core::analysis::compare;
+use tpv::prelude::*;
+use tpv::services::kv::KvConfig;
+use tpv::services::{ServiceConfig, ServiceKind};
+
+fn memcached_fast() -> Benchmark {
+    let mut b = Benchmark::memcached();
+    // Smaller keyspace keeps per-run setup cheap in debug builds.
+    b.service = ServiceConfig::new(ServiceKind::Memcached(KvConfig {
+        preload_keys: 2_000,
+        ..KvConfig::default()
+    }));
+    b
+}
+
+#[test]
+fn finding1_lp_client_inflates_memcached_measurements() {
+    let results = Experiment::builder(memcached_fast())
+        .client(MachineConfig::low_power())
+        .client(MachineConfig::high_performance())
+        .server(ServerScenario::baseline())
+        .qps(&[50_000.0])
+        .runs(8)
+        .run_duration(SimDuration::from_ms(60))
+        .seed(11)
+        .build()
+        .run();
+    let lp = results.cell("LP", "SMToff", 50_000.0).unwrap().summary();
+    let hp = results.cell("HP", "SMToff", 50_000.0).unwrap().summary();
+    // Paper: LP average 80-150% higher; allow a wide band at this scale.
+    let gap = lp.avg_median_us() / hp.avg_median_us();
+    assert!(gap > 1.4, "LP/HP avg gap {gap:.2} too small");
+    assert!(gap < 4.0, "LP/HP avg gap {gap:.2} implausibly large");
+    // Tail inflation is at least as large as average inflation.
+    let tail_gap = lp.p99_median_us() / hp.p99_median_us();
+    assert!(tail_gap > 1.33, "LP/HP p99 gap {tail_gap:.2} too small");
+}
+
+#[test]
+fn finding2_c1e_hurts_only_at_low_load_for_hp() {
+    let results = Experiment::builder(memcached_fast())
+        .client(MachineConfig::high_performance())
+        .server(ServerScenario::baseline())
+        .server(ServerScenario::c1e_on())
+        .qps(&[10_000.0, 300_000.0])
+        .runs(10)
+        .run_duration(SimDuration::from_ms(60))
+        .seed(22)
+        .build()
+        .run();
+    let slow_at = |q: f64| {
+        let off = results.cell("HP", "SMToff", q).unwrap().summary();
+        let on = results.cell("HP", "C1Eon", q).unwrap().summary();
+        compare(&on, &off).speedup_avg // C1E_ON / C1E_OFF
+    };
+    let low = slow_at(10_000.0);
+    let high = slow_at(300_000.0);
+    assert!(low > 1.03, "C1E slowdown at 10K should be visible, got {low:.3}");
+    assert!(high < low, "C1E effect must shrink with load: {low:.3} -> {high:.3}");
+    assert!((0.97..1.03).contains(&high), "C1E at 300K should vanish, got {high:.3}");
+}
+
+#[test]
+fn finding3_gap_shrinks_as_service_latency_grows() {
+    // Synthetic-service sensitivity at two added delays.
+    let gap_at = |delay_us: u64, seed: u64| {
+        let results = Experiment::builder(Benchmark::synthetic(SimDuration::from_us(delay_us)))
+            .client(MachineConfig::low_power())
+            .client(MachineConfig::high_performance())
+            .server(ServerScenario::baseline())
+            .qps(&[5_000.0])
+            .runs(6)
+            .run_duration(SimDuration::from_ms(60))
+            .seed(seed)
+            .build()
+            .run();
+        let lp = results.cell("LP", "SMToff", 5_000.0).unwrap().summary();
+        let hp = results.cell("HP", "SMToff", 5_000.0).unwrap().summary();
+        lp.avg_median_us() / hp.avg_median_us()
+    };
+    let fast_service = gap_at(0, 33);
+    let slow_service = gap_at(400, 34);
+    assert!(
+        fast_service > slow_service + 0.3,
+        "gap must shrink with service latency: {fast_service:.2} -> {slow_service:.2}"
+    );
+    assert!(slow_service < 1.35, "at 400us added delay the clients should nearly agree: {slow_service:.2}");
+}
+
+#[test]
+fn smt_speedup_is_load_dependent_for_hp() {
+    let results = Experiment::builder(memcached_fast())
+        .client(MachineConfig::high_performance())
+        .server(ServerScenario::baseline())
+        .server(ServerScenario::smt_on())
+        .qps(&[10_000.0, 400_000.0])
+        .runs(10)
+        .run_duration(SimDuration::from_ms(60))
+        .seed(44)
+        .build()
+        .run();
+    let speedup_at = |q: f64| {
+        let off = results.cell("HP", "SMToff", q).unwrap().summary();
+        let on = results.cell("HP", "SMTon", q).unwrap().summary();
+        compare(&off, &on).speedup_avg // SMT_OFF / SMT_ON
+    };
+    let low = speedup_at(10_000.0);
+    let high = speedup_at(400_000.0);
+    // SMT only helps under load (the softirq-offload mechanism).
+    assert!((0.97..1.04).contains(&low), "SMT should be neutral at low load, got {low:.3}");
+    assert!(high > low, "SMT benefit must grow with load: {low:.3} -> {high:.3}");
+}
