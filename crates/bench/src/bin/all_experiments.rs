@@ -1,49 +1,57 @@
-//! Runs the complete regeneration suite — every table and figure — by
-//! invoking the per-artefact binaries in sequence. Respects the same
-//! `TPV_RUNS` / `TPV_RUN_SECS` / `TPV_SEED` environment variables.
+//! Runs the complete regeneration suite — every table and figure — as an
+//! **in-process** driver over the study registry. One engine (and one run
+//! cache) is shared across all artefacts, so baseline cells that recur in
+//! several figures execute once. Respects the same `TPV_RUNS` /
+//! `TPV_RUN_SECS` / `TPV_SEED` environment variables as the individual
+//! binaries.
+//!
+//! Usage: `all_experiments [--all]` — `--all` additionally runs the
+//! extension experiments after the paper artefacts.
 
-use std::process::Command;
+use tpv_bench::study::{registry, StudyCtx, StudyKind};
 
 fn main() {
-    let bins = [
-        "table1_survey",
-        "table2_configs",
-        "table3_scenarios",
-        "fig2_memcached_smt",
-        "fig3_memcached_c1e",
-        "fig4_hdsearch",
-        "fig5_stddev",
-        "fig6_socialnet",
-        "fig7_synthetic",
-        "fig8_shapiro",
-        "fig9_histogram",
-        "table4_iterations",
-    ];
-    let self_path = std::env::current_exe().expect("cannot locate this binary");
-    let dir = self_path.parent().expect("binary has no parent directory");
-    let mut failures = Vec::new();
-    for bin in bins {
+    let include_extensions = std::env::args().any(|a| a == "--all");
+    let ctx = StudyCtx::new();
+    let mut ran = 0usize;
+    let mut failures: Vec<&'static str> = Vec::new();
+    for study in registry() {
+        let in_suite = match study.kind {
+            StudyKind::Table | StudyKind::Figure => true,
+            StudyKind::Extension => include_extensions,
+            StudyKind::Diagnostic => false,
+        };
+        if !in_suite {
+            continue;
+        }
         println!("\n================================================================");
-        println!("running {bin}");
+        println!("running {} — {}", study.name, study.title);
         println!("================================================================\n");
-        let status = Command::new(dir.join(bin)).status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("[all] {bin} exited with {s}");
-                failures.push(bin);
-            }
-            Err(e) => {
-                eprintln!("[all] failed to launch {bin}: {e}");
-                failures.push(bin);
+        // One panicking study must not abort the rest of the suite
+        // (matching the isolation of the old per-binary driver).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (study.run)(&ctx)));
+        match outcome {
+            Ok(()) => ran += 1,
+            Err(_) => {
+                eprintln!("[all] {} FAILED (panicked); continuing", study.name);
+                failures.push(study.name);
             }
         }
     }
     println!("\n================================================================");
+    if let Some(cache) = ctx.cache() {
+        let stats = cache.stats();
+        let total = stats.hits + stats.misses;
+        let pct = if total > 0 { 100.0 * stats.hits as f64 / total as f64 } else { 0.0 };
+        println!(
+            "run cache: {} of {} jobs served from cache ({pct:.0}% — baseline cells shared across artefacts)",
+            stats.hits, total
+        );
+    }
     if failures.is_empty() {
-        println!("all {} artefacts regenerated; CSVs in results/", bins.len());
+        println!("all {ran} artefacts regenerated; CSVs in results/");
     } else {
-        println!("{} artefacts FAILED: {failures:?}", failures.len());
+        println!("{} artefacts FAILED: {failures:?} ({ran} succeeded)", failures.len());
         std::process::exit(1);
     }
 }

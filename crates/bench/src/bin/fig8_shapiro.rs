@@ -1,65 +1,8 @@
-//! Regenerates **Figure 8**: Shapiro–Wilk p-values for the §V-A
-//! configurations (six scenarios × seven QPS points, 50 runs each at
-//! paper scale).
-
-use tpv_bench::{avg_samples, banner, env_duration, env_runs, env_seed};
-use tpv_core::report::Csv;
-use tpv_core::scenarios::{memcached_c1e_study, memcached_smt_study, MEMCACHED_QPS};
-use tpv_stats::shapiro_wilk;
+//! Thin wrapper: regenerates the `fig8_shapiro` artefact via the study
+//! registry (see `tpv_bench::study`). Respects `TPV_RUNS` /
+//! `TPV_RUN_SECS` / `TPV_SEED`; run `all_experiments` for the whole
+//! suite with a shared run cache.
 
 fn main() {
-    let runs = env_runs(50);
-    let duration = env_duration(400);
-    banner("Figure 8: Shapiro-Wilk p-values across Section V-A configurations", runs, duration);
-
-    let smt = memcached_smt_study(&MEMCACHED_QPS, runs, duration, env_seed()).run();
-    let c1e = memcached_c1e_study(&MEMCACHED_QPS, runs, duration, env_seed() + 1).run();
-
-    let mut csv = Csv::new(&["config", "qps", "p_value", "passes_alpha_0_05"]);
-    let mut total = 0usize;
-    let mut passing = 0usize;
-
-    let header: Vec<String> =
-        MEMCACHED_QPS.iter().map(|&q| format!("{:>8}", format!("{}K", q as u64 / 1000))).collect();
-    println!("config        | {}", header.join(" "));
-    let configs: Vec<(&str, &tpv_core::ExperimentResults, &str, &str)> = vec![
-        ("LP-SMToff", &smt, "LP", "SMToff"),
-        ("LP-SMTon", &smt, "LP", "SMTon"),
-        ("HP-SMToff", &smt, "HP", "SMToff"),
-        ("HP-SMTon", &smt, "HP", "SMTon"),
-        ("LP-C1Eon", &c1e, "LP", "C1Eon"),
-        ("HP-C1Eon", &c1e, "HP", "C1Eon"),
-    ];
-    for (name, results, client, server) in configs {
-        let mut row = format!("{name:<13} |");
-        for &q in &MEMCACHED_QPS {
-            let cell = results.cell(client, server, q).unwrap();
-            let xs = avg_samples(cell);
-            let p = shapiro_wilk(&xs).map(|r| r.p_value).unwrap_or(0.0);
-            total += 1;
-            if p >= 0.05 {
-                passing += 1;
-            }
-            row.push_str(&format!(" {p:>8.1e}"));
-            csv.row(&[
-                name.to_string(),
-                format!("{q}"),
-                format!("{p:.6e}"),
-                format!("{}", p >= 0.05),
-            ]);
-        }
-        println!("{row}");
-    }
-    println!("\n(threshold: p = 0.05, the red dashed line of Fig. 8)");
-    tpv_bench::write_csv("fig8_shapiro.csv", &csv);
-
-    let frac = passing as f64 / total as f64;
-    println!(
-        "{passing}/{total} = {:.0}% of configurations conform to a normal distribution \
-         (paper: approximately 50%).",
-        frac * 100.0
-    );
-    if !(0.25..=0.85).contains(&frac) {
-        eprintln!("[shape warning] normality fraction far from the paper's ~50%");
-    }
+    tpv_bench::study::run_by_name("fig8_shapiro");
 }

@@ -1,38 +1,8 @@
-//! Regenerates **Figure 9**: frequency chart of per-run average response
-//! times for the HP-SMToff 400K configuration — the right-skewed,
-//! queueing-dominated distribution that fails normality testing.
-
-use tpv_bench::{avg_samples, banner, env_duration, env_runs, env_seed};
-use tpv_core::report::{frequency_chart, Csv};
-use tpv_core::scenarios::memcached_smt_study;
-use tpv_stats::desc::skewness;
-use tpv_stats::shapiro_wilk;
+//! Thin wrapper: regenerates the `fig9_histogram` artefact via the study
+//! registry (see `tpv_bench::study`). Respects `TPV_RUNS` /
+//! `TPV_RUN_SECS` / `TPV_SEED`; run `all_experiments` for the whole
+//! suite with a shared run cache.
 
 fn main() {
-    let runs = env_runs(50);
-    let duration = env_duration(400);
-    banner("Figure 9: frequency chart for HP-SMToff @ 400K QPS", runs, duration);
-
-    let results = memcached_smt_study(&[400_000.0], runs, duration, env_seed()).run();
-    let cell = results.cell("HP", "SMToff", 400_000.0).unwrap();
-    let xs = avg_samples(cell);
-
-    println!("{}", frequency_chart(&xs, 17));
-
-    let skew = skewness(&xs);
-    let sw = shapiro_wilk(&xs);
-    println!("sample skewness = {skew:.2} (positive = right tail, as in the paper)");
-    if let Ok(r) = sw {
-        println!("Shapiro-Wilk: W = {:.4}, p = {:.2e} (paper: this configuration fails normality)", r.w, r.p_value);
-    }
-
-    let mut csv = Csv::new(&["run", "avg_us"]);
-    for (i, x) in xs.iter().enumerate() {
-        csv.row(&[format!("{i}"), format!("{x:.3}")]);
-    }
-    tpv_bench::write_csv("fig9_histogram.csv", &csv);
-
-    if skew < 0.0 {
-        eprintln!("[shape warning] distribution should be right-skewed");
-    }
+    tpv_bench::study::run_by_name("fig9_histogram");
 }

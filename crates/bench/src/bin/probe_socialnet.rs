@@ -10,10 +10,9 @@ use tpv_sim::{SimDuration, SimRng, SimTime};
 
 fn main() {
     for qps in [100.0f64, 300.0, 600.0] {
-        for (label, interference) in [
-            ("quiet", InterferenceProfile::none()),
-            ("spiky", InterferenceProfile::quiet_server()),
-        ] {
+        for (label, interference) in
+            [("quiet", InterferenceProfile::none()), ("spiky", InterferenceProfile::quiet_server())]
+        {
             let mut rng = SimRng::seed_from_u64(7);
             let server = MachineConfig::server_baseline();
             let env = server.draw_environment(&mut rng);

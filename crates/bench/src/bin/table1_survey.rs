@@ -1,28 +1,8 @@
-//! Regenerates **Table I**: hardware characterization in previous work.
-
-use tpv_core::report::{Csv, MarkdownTable};
-use tpv_core::survey;
+//! Thin wrapper: regenerates the `table1_survey` artefact via the study
+//! registry (see `tpv_bench::study`). Respects `TPV_RUNS` /
+//! `TPV_RUN_SECS` / `TPV_SEED`; run `all_experiments` for the whole
+//! suite with a shared run cache.
 
 fn main() {
-    println!("== Table I: Hardware characterization in previous work ==\n");
-    let mut table = MarkdownTable::new(&["Characterization", "Publications"]);
-    let counts = survey::table_i_counts();
-    for (c, n) in &counts {
-        table.row(&[c.to_string(), n.to_string()]);
-    }
-    let total: usize = counts.iter().map(|(_, n)| n).sum();
-    table.row(&["Total".into(), total.to_string()]);
-    println!("{}", table.render());
-    println!(
-        "{:.0}% of surveyed papers specify the client-side hardware configuration.",
-        survey::client_specified_fraction() * 100.0
-    );
-
-    let mut csv = Csv::new(&["characterization", "publications"]);
-    for (c, n) in &counts {
-        csv.row(&[c.to_string(), n.to_string()]);
-    }
-    tpv_bench::write_csv("table1_survey.csv", &csv);
-
-    assert_eq!(total, 20, "survey must cover 20 publications");
+    tpv_bench::study::run_by_name("table1_survey");
 }

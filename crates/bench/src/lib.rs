@@ -1,7 +1,9 @@
-//! Shared plumbing for the table/figure regeneration binaries.
+//! Artefact regeneration: the [`study`] registry plus shared plumbing
+//! for the thin per-artefact binaries.
 //!
-//! Every binary accepts two environment variables so the suite can be run
-//! at paper scale when wall-clock budget allows:
+//! Every study accepts three environment variables so the suite can be
+//! run at paper scale when wall-clock budget allows (see EXPERIMENTS.md
+//! at the workspace root):
 //!
 //! * `TPV_RUNS` — runs per cell (paper: 50; scaled default varies per
 //!   experiment).
@@ -16,6 +18,9 @@ use std::path::PathBuf;
 use tpv_core::experiment::Cell;
 use tpv_core::report::Csv;
 use tpv_sim::SimDuration;
+
+pub(crate) mod studies;
+pub mod study;
 
 /// Runs per cell: `TPV_RUNS` or the given default.
 pub fn env_runs(default: usize) -> usize {

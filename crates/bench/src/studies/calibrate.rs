@@ -1,0 +1,139 @@
+//! Calibration scorecard: runs reduced versions of the paper's key
+//! studies and prints every "shape obligation" from DESIGN.md §4 next to
+//! the paper's value. Used during development to tune model constants;
+//! kept as a fast end-to-end health check.
+
+use crate::{banner, env_duration, env_runs, env_seed};
+use tpv_core::analysis::{compare, iteration_estimate};
+use tpv_core::scenarios;
+use tpv_sim::{SimDuration, SimRng};
+
+use crate::study::StudyCtx;
+
+/// Renders this artefact through the context engine.
+pub(crate) fn run(ctx: &StudyCtx) {
+    let runs = env_runs(15);
+    let duration = env_duration(150);
+    let seed = env_seed();
+    banner("calibration scorecard", runs, duration);
+
+    // ---- Memcached SMT study (Fig 2) ----
+    let qps = [10_000.0, 100_000.0, 300_000.0, 500_000.0];
+    let exp = scenarios::memcached_smt_study(&qps, runs, duration, seed);
+    let res = exp.run_with(&ctx.engine);
+    println!("-- memcached SMT (fig2) --");
+    println!("qps | LP/HP avg (want 1.8-2.5x) | LP/HP p99 (want 1.33-3x) | smtoff/on p99 LP | HP (want ~1.03 vs ~1.13 at high qps) | LP avg us | HP avg us");
+    for &q in &qps {
+        let lp_off = res.cell("LP", "SMToff", q).unwrap().summary();
+        let hp_off = res.cell("HP", "SMToff", q).unwrap().summary();
+        let lp_on = res.cell("LP", "SMTon", q).unwrap().summary();
+        let hp_on = res.cell("HP", "SMTon", q).unwrap().summary();
+        let gap_avg = lp_off.avg_median_us() / hp_off.avg_median_us();
+        let gap_p99 = lp_off.p99_median_us() / hp_off.p99_median_us();
+        let smt_lp = compare(&lp_off, &lp_on).speedup_p99;
+        let smt_hp = compare(&hp_off, &hp_on).speedup_p99;
+        println!(
+            "{q:>7} | {gap_avg:.2}x | {gap_p99:.2}x | {:.3} | {:.3} | {:.1} | {:.1}",
+            smt_lp,
+            smt_hp,
+            lp_off.avg_median_us(),
+            hp_off.avg_median_us()
+        );
+    }
+
+    // ---- Memcached C1E study (Fig 3) ----
+    let exp = scenarios::memcached_c1e_study(&qps, runs, duration, seed + 1);
+    let res = exp.run_with(&ctx.engine);
+    println!("\n-- memcached C1E (fig3) --");
+    println!("qps | C1E slowdown avg LP | HP (HP up to 1.19 at 10K, ~1.0 high) | verdict avg LP | HP (want LP slower@high, HP same)");
+    for &q in &qps {
+        let lp_off = res.cell("LP", "SMToff", q).unwrap().summary();
+        let hp_off = res.cell("HP", "SMToff", q).unwrap().summary();
+        let lp_on = res.cell("LP", "C1Eon", q).unwrap().summary();
+        let hp_on = res.cell("HP", "C1Eon", q).unwrap().summary();
+        let slow_lp = compare(&lp_on, &lp_off).speedup_avg; // C1E_ON/C1E_OFF
+        let slow_hp = compare(&hp_on, &hp_off).speedup_avg;
+        let v_lp = compare(&lp_off, &lp_on).verdict_avg;
+        let v_hp = compare(&hp_off, &hp_on).verdict_avg;
+        println!("{q:>7} | {slow_lp:.3} | {slow_hp:.3} | {v_lp} | {v_hp}");
+    }
+
+    // ---- Per-run variability / Table IV shape ----
+    println!("\n-- run-to-run cv & iterations (table4-ish, from fig2 baseline cells) --");
+    let exp = scenarios::memcached_smt_study(&qps, runs.max(20), duration, seed + 2);
+    let res = exp.run_with(&ctx.engine);
+    let mut rng = SimRng::seed_from_u64(99);
+    println!("cell | cv_avg % (want LP@10K ~8.7, HP@10K <0.5, HP@400-500K ~5, LP@500K ~1-2) | parametric | confirm | shapiro");
+    for key in ["LP-SMToff", "HP-SMToff", "LP-SMTon", "HP-SMTon"] {
+        for &q in &qps {
+            let (c, s) = key.split_once('-').unwrap();
+            let cell = res.cell(c, s, q).unwrap().summary();
+            let cv = cell.avg_std_dev_us() / cell.avg_mean_us() * 100.0;
+            let est = iteration_estimate(&cell, &mut rng);
+            println!(
+                "{key:>10} @{q:>7} | {cv:5.2}% | {:>4} | {:>4} | {}",
+                est.parametric,
+                est.confirm.to_string(),
+                match est.shapiro_pass {
+                    Some(true) => "pass",
+                    Some(false) => "fail",
+                    None => "n/a",
+                }
+            );
+        }
+    }
+
+    // ---- Synthetic sensitivity (Fig 7) ----
+    println!("\n-- synthetic (fig7): LP/HP avg ratio at 20K qps (want 2.8x @0us -> ~1.02x @400us) --");
+    for delay_us in [0u64, 100, 400] {
+        let exp = scenarios::synthetic_study(
+            SimDuration::from_us(delay_us),
+            &[5_000.0, 20_000.0],
+            runs.min(12),
+            duration,
+            seed + 3,
+        );
+        let res = exp.run_with(&ctx.engine);
+        for &q in &[5_000.0, 20_000.0] {
+            let lp = res.cell("LP", "SMToff", q).unwrap().summary();
+            let hp = res.cell("HP", "SMToff", q).unwrap().summary();
+            println!(
+                "delay {delay_us:>4}us @{q:>6}: LP/HP avg {:.2}x  p99 {:.2}x (LP {:.0}us HP {:.0}us)",
+                lp.avg_median_us() / hp.avg_median_us(),
+                lp.p99_median_us() / hp.p99_median_us(),
+                lp.avg_median_us(),
+                hp.avg_median_us()
+            );
+        }
+    }
+
+    // ---- HDSearch + SocialNet gaps (Fig 4/6) ----
+    println!("\n-- hdsearch (fig4): LP/HP avg gap want 1.07-1.17, same speedup trends --");
+    let exp = scenarios::hdsearch_smt_study(&[500.0, 2500.0], runs.min(10), env_duration(400), seed + 4);
+    let res = exp.run_with(&ctx.engine);
+    for &q in &[500.0, 2500.0] {
+        let lp = res.cell("LP", "SMToff", q).unwrap().summary();
+        let hp = res.cell("HP", "SMToff", q).unwrap().summary();
+        println!(
+            "@{q:>6}: LP/HP avg {:.3}x p99 {:.3}x (LP {:.0}us)",
+            lp.avg_median_us() / hp.avg_median_us(),
+            lp.p99_median_us() / hp.p99_median_us(),
+            lp.avg_median_us()
+        );
+    }
+
+    println!("\n-- socialnet (fig6): LP/HP avg want ~1.05, p99 want ~1.00 --");
+    let exp = scenarios::socialnet_study(&[100.0, 600.0], runs.min(10), env_duration(1000), seed + 5);
+    let res = exp.run_with(&ctx.engine);
+    for &q in &[100.0, 600.0] {
+        let lp = res.cell("LP", "SMToff", q).unwrap().summary();
+        let hp = res.cell("HP", "SMToff", q).unwrap().summary();
+        println!(
+            "@{q:>6}: LP/HP avg {:.3}x p99 {:.3}x (LP avg {:.2}ms p99 {:.2}ms)",
+            lp.avg_median_us() / hp.avg_median_us(),
+            lp.p99_median_us() / hp.p99_median_us(),
+            lp.avg_median_us() / 1000.0,
+            lp.p99_median_us() / 1000.0
+        );
+    }
+}

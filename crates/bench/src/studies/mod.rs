@@ -1,0 +1,22 @@
+//! Renderer implementations for every registered [`Study`](crate::study::Study).
+//!
+//! Each module is one artefact: it builds its experiments, executes them
+//! through the context's engine (sharing the run cache with any other
+//! study in the same driver process) and prints the paper-format output.
+
+pub(crate) mod calibrate;
+pub(crate) mod ext_closed_loop;
+pub(crate) mod ext_space_exploration;
+pub(crate) mod ext_verdict_methods;
+pub(crate) mod fig2;
+pub(crate) mod fig3;
+pub(crate) mod fig4;
+pub(crate) mod fig5;
+pub(crate) mod fig6;
+pub(crate) mod fig7;
+pub(crate) mod fig8;
+pub(crate) mod fig9;
+pub(crate) mod table1;
+pub(crate) mod table2;
+pub(crate) mod table3;
+pub(crate) mod table4;

@@ -1,0 +1,186 @@
+//! The declarative study registry: every paper artefact and extension
+//! experiment as a named, in-process runnable.
+//!
+//! A [`Study`] bundles an identifier (matching the historical binary
+//! name), a human title and a renderer function. The per-artefact
+//! binaries are thin wrappers over [`run_by_name`], and the
+//! `all_experiments` driver iterates [`registry`] **in one process**, so
+//! every study routes through a single [`Engine`] whose [`RunCache`]
+//! deduplicates the baseline cells shared across figures (seeds are
+//! content-addressed — see `tpv_core::engine`).
+
+use std::sync::Arc;
+
+use tpv_core::engine::{Engine, RunCache};
+
+use crate::studies;
+
+/// What a study regenerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StudyKind {
+    /// A table of the paper (Tables I–IV).
+    Table,
+    /// A figure of the paper (Figures 2–9).
+    Figure,
+    /// An experiment beyond the paper's artefacts.
+    Extension,
+    /// A development diagnostic (calibration scorecards, probes).
+    Diagnostic,
+}
+
+/// Execution context handed to every study renderer.
+pub struct StudyCtx {
+    /// The engine every experiment routes through. Sharing one context
+    /// across studies shares its run cache.
+    pub engine: Engine,
+}
+
+impl StudyCtx {
+    /// A parallel engine with a fresh run cache.
+    pub fn new() -> Self {
+        StudyCtx { engine: Engine::new().with_cache(RunCache::new()) }
+    }
+
+    /// The engine's cache (always present for contexts built here).
+    pub fn cache(&self) -> Option<&Arc<RunCache>> {
+        self.engine.cache()
+    }
+}
+
+impl Default for StudyCtx {
+    fn default() -> Self {
+        StudyCtx::new()
+    }
+}
+
+/// One registered artefact: name + kind + renderer.
+pub struct Study {
+    /// Stable identifier; matches the wrapper binary's name.
+    pub name: &'static str,
+    /// One-line description printed by drivers.
+    pub title: &'static str,
+    /// Artefact classification.
+    pub kind: StudyKind,
+    /// Builds, executes (through `ctx.engine`) and prints the artefact.
+    pub run: fn(&StudyCtx),
+}
+
+/// Every study, in the paper's presentation order (extensions and
+/// diagnostics last).
+pub fn registry() -> Vec<Study> {
+    vec![
+        Study {
+            name: "table1_survey",
+            title: "Table I: hardware characterization in previous work",
+            kind: StudyKind::Table,
+            run: studies::table1::run,
+        },
+        Study {
+            name: "table2_configs",
+            title: "Table II: client- and server-side hardware configurations",
+            kind: StudyKind::Table,
+            run: studies::table2::run,
+        },
+        Study {
+            name: "table3_scenarios",
+            title: "Table III: scenarios tested in Section V",
+            kind: StudyKind::Table,
+            run: studies::table3::run,
+        },
+        Study {
+            name: "fig2_memcached_smt",
+            title: "Figure 2: SMT impact on Memcached with LP/HP clients",
+            kind: StudyKind::Figure,
+            run: studies::fig2::run,
+        },
+        Study {
+            name: "fig3_memcached_c1e",
+            title: "Figure 3: C1E impact on Memcached with LP/HP clients",
+            kind: StudyKind::Figure,
+            run: studies::fig3::run,
+        },
+        Study {
+            name: "fig4_hdsearch",
+            title: "Figure 4: SMT and C1E impact on HDSearch",
+            kind: StudyKind::Figure,
+            run: studies::fig4::run,
+        },
+        Study {
+            name: "fig5_stddev",
+            title: "Figure 5: stddev of average response time",
+            kind: StudyKind::Figure,
+            run: studies::fig5::run,
+        },
+        Study {
+            name: "fig6_socialnet",
+            title: "Figure 6: Social Network read-user-timeline, LP vs HP",
+            kind: StudyKind::Figure,
+            run: studies::fig6::run,
+        },
+        Study {
+            name: "fig7_synthetic",
+            title: "Figure 7: synthetic-service sensitivity sweep",
+            kind: StudyKind::Figure,
+            run: studies::fig7::run,
+        },
+        Study {
+            name: "fig8_shapiro",
+            title: "Figure 8: Shapiro-Wilk p-values across configurations",
+            kind: StudyKind::Figure,
+            run: studies::fig8::run,
+        },
+        Study {
+            name: "fig9_histogram",
+            title: "Figure 9: frequency chart for HP-SMToff @ 400K QPS",
+            kind: StudyKind::Figure,
+            run: studies::fig9::run,
+        },
+        Study {
+            name: "table4_iterations",
+            title: "Table IV: iterations to gain statistical confidence",
+            kind: StudyKind::Table,
+            run: studies::table4::run,
+        },
+        Study {
+            name: "ext_closed_loop",
+            title: "Extension: closed-loop generator taxonomy cell",
+            kind: StudyKind::Extension,
+            run: studies::ext_closed_loop::run,
+        },
+        Study {
+            name: "ext_space_exploration",
+            title: "Extension: Section VI client-grid space exploration",
+            kind: StudyKind::Extension,
+            run: studies::ext_space_exploration::run,
+        },
+        Study {
+            name: "ext_verdict_methods",
+            title: "Extension: CI-overlap vs Mann-Whitney verdicts",
+            kind: StudyKind::Extension,
+            run: studies::ext_verdict_methods::run,
+        },
+        Study {
+            name: "calibrate",
+            title: "Calibration scorecard against DESIGN.md shape obligations",
+            kind: StudyKind::Diagnostic,
+            run: studies::calibrate::run,
+        },
+    ]
+}
+
+/// The study registered under `name`.
+pub fn find(name: &str) -> Option<Study> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// Runs one study on a fresh cached context — the entry point of the
+/// thin per-artefact binaries.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the registry.
+pub fn run_by_name(name: &str) {
+    let study = find(name).unwrap_or_else(|| panic!("unknown study '{name}'"));
+    let ctx = StudyCtx::new();
+    (study.run)(&ctx);
+}

@@ -5,11 +5,11 @@
 //! per-run samples with **non-parametric 95 % CIs** (Eq. 1/2); two
 //! configurations differ only when their CIs do not overlap.
 
+use tpv_sim::{SimDuration, SimRng};
 use tpv_stats::ci::{nonparametric_median_ci, ConfidenceInterval};
 use tpv_stats::desc;
 use tpv_stats::normality::{shapiro_wilk, ShapiroWilk};
 use tpv_stats::repetitions::{confirm, jain_sample_size_of, ConfirmConfig, ConfirmOutcome};
-use tpv_sim::{SimDuration, SimRng};
 
 use crate::runtime::RunResult;
 
@@ -217,6 +217,7 @@ mod tests {
                 mean_send_slip: SimDuration::ZERO,
                 client_wakes: [0; 4],
                 client_energy_core_secs: 0.0,
+                truncated_inflight: 0,
             })
             .collect()
     }
@@ -242,8 +243,12 @@ mod tests {
 
     #[test]
     fn verdicts_follow_ci_overlap() {
-        let slow = Summary::from_runs(&runs_with_avgs(&[200.0, 201.0, 199.0, 200.5, 199.5, 200.2, 199.8, 200.1, 199.9, 200.0].repeat(3)));
-        let fast = Summary::from_runs(&runs_with_avgs(&[100.0, 101.0, 99.0, 100.5, 99.5, 100.2, 99.8, 100.1, 99.9, 100.0].repeat(3)));
+        let slow = Summary::from_runs(&runs_with_avgs(
+            &[200.0, 201.0, 199.0, 200.5, 199.5, 200.2, 199.8, 200.1, 199.9, 200.0].repeat(3),
+        ));
+        let fast = Summary::from_runs(&runs_with_avgs(
+            &[100.0, 101.0, 99.0, 100.5, 99.5, 100.2, 99.8, 100.1, 99.9, 100.0].repeat(3),
+        ));
         let cmp = compare(&slow, &fast);
         assert_eq!(cmp.verdict_avg, Verdict::Faster);
         assert!(cmp.speedup_avg > 1.9);

@@ -13,10 +13,11 @@ use tpv_services::kv::KvConfig;
 use tpv_services::socialnet::SocialConfig;
 use tpv_services::synthetic::SyntheticConfig;
 use tpv_services::{ServiceConfig, ServiceKind};
-use tpv_sim::{SimDuration, SimRng};
+use tpv_sim::SimDuration;
 
 use crate::analysis::Summary;
-use crate::runtime::{run_once, RunResult, RunSpec};
+use crate::engine::{fingerprint, Engine, JobPlan};
+use crate::runtime::{RunResult, RunSpec};
 
 /// A benchmark: the service under test plus the generator that drives it.
 #[derive(Debug, Clone)]
@@ -147,12 +148,30 @@ impl Experiment {
         }
     }
 
-    /// Executes every cell of the matrix.
+    /// Executes every cell of the matrix on a fresh [`Engine`] honouring
+    /// the builder's `parallel` flag.
     ///
     /// # Panics
     ///
     /// Panics if no client, server or QPS point was configured.
     pub fn run(&self) -> ExperimentResults {
+        let engine = if self.parallel { Engine::new() } else { Engine::serial() };
+        self.run_with(&engine)
+    }
+
+    /// Executes every cell of the matrix through the given engine.
+    ///
+    /// Results are bit-identical whatever the engine's parallelism or
+    /// cache temperature: the [`JobPlan`] binds a content-derived seed to
+    /// every `(cell, run)` pair and the engine reassembles results in
+    /// `(cell, run)` order. Two cells with identical content (say, the
+    /// same client added twice) are therefore the same jobs and return
+    /// bit-identical samples — see [`JobPlan::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no client, server or QPS point was configured.
+    pub fn run_with(&self, engine: &Engine) -> ExperimentResults {
         assert!(!self.clients.is_empty(), "experiment needs at least one client config");
         assert!(!self.servers.is_empty(), "experiment needs at least one server scenario");
         assert!(!self.qps.is_empty(), "experiment needs at least one QPS point");
@@ -175,47 +194,31 @@ impl Experiment {
             }
         }
 
-        // Job list: every (cell, run) pair with its deterministic seed.
-        // Seeds depend only on (cell coordinates, run index), so execution
-        // order — sequential, parallel or shuffled (OrderSage-style) —
-        // cannot change any result.
-        let mut jobs: Vec<(usize, usize, u64)> = Vec::with_capacity(cells.len() * self.runs);
-        let seeder = SimRng::seed_from_u64(self.seed);
-        for (ci, _) in cells.iter().enumerate() {
-            for run in 0..self.runs {
-                let label = (ci as u64) << 32 | run as u64;
-                let mut s = seeder.fork(label);
-                jobs.push((ci, run, s.next_u64()));
-            }
-        }
+        let specs: Vec<RunSpec<'_>> = cells.iter().map(|cell| self.spec_for(cell)).collect();
+        let fingerprints: Vec<u64> = specs.iter().map(fingerprint).collect();
+        let mut plan = JobPlan::new(self.seed, &fingerprints, self.runs);
         if self.shuffle_order {
-            let mut order_rng = SimRng::seed_from_u64(self.seed ^ 0x0D0E);
-            order_rng.shuffle(&mut jobs);
+            plan = plan.shuffled(self.seed ^ 0x0D0E);
         }
 
-        let results: Vec<(usize, usize, RunResult)> = if self.parallel {
-            self.run_jobs_parallel(&cells, &jobs)
-        } else {
-            jobs.iter()
-                .map(|&(ci, run, seed)| (ci, run, self.execute_job(&cells[ci], seed)))
-                .collect()
-        };
+        let results = engine.execute(&plan, |ci| specs[ci]);
 
-        // Reassemble in (cell, run) order regardless of execution order.
-        let mut buckets: Vec<Vec<(usize, RunResult)>> = vec![Vec::new(); cells.len()];
-        for (ci, run, r) in results {
-            buckets[ci].push((run, r));
+        // `execute` returns (cell, run)-ordered triples; distribute them.
+        let mut samples: Vec<Vec<RunResult>> = vec![Vec::with_capacity(self.runs); cells.len()];
+        for (ci, _, r) in results {
+            samples[ci].push(r);
         }
-        for (cell, mut bucket) in cells.iter_mut().zip(buckets) {
-            bucket.sort_by_key(|(run, _)| *run);
-            cell.samples = bucket.into_iter().map(|(_, r)| r).collect();
+        for (cell, runs) in cells.iter_mut().zip(samples) {
+            cell.samples = runs;
         }
 
         ExperimentResults { cells, benchmark_name: self.benchmark.name.clone() }
     }
 
-    fn execute_job(&self, cell: &Cell, seed: u64) -> RunResult {
-        let spec = RunSpec {
+    /// The fully-bound spec for one cell (what the engine fingerprints,
+    /// seeds and executes).
+    fn spec_for<'a>(&'a self, cell: &'a Cell) -> RunSpec<'a> {
+        RunSpec {
             service: &self.benchmark.service,
             server: &cell.server,
             client: &cell.client,
@@ -224,29 +227,7 @@ impl Experiment {
             qps: cell.qps,
             duration: self.duration,
             warmup: self.warmup,
-        };
-        run_once(&spec, seed)
-    }
-
-    fn run_jobs_parallel(&self, cells: &[Cell], jobs: &[(usize, usize, u64)]) -> Vec<(usize, usize, RunResult)> {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        let results = parking_lot::Mutex::new(Vec::with_capacity(jobs.len()));
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers.min(jobs.len().max(1)) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let (ci, run, seed) = jobs[i];
-                    let r = self.execute_job(&cells[ci], seed);
-                    results.lock().push((ci, run, r));
-                });
-            }
-        })
-        .expect("experiment worker panicked");
-        results.into_inner()
+        }
     }
 }
 

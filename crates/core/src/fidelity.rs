@@ -16,6 +16,9 @@
 //!   series.
 //! * **schedule adherence** — the fraction of sends that slipped their
 //!   scheduled time (from [`RunResult`]).
+//! * **drain completeness** — in-window requests cut off by the drain
+//!   horizon ([`RunResult::truncated_inflight`]) right-censor the tail;
+//!   a run that truncates anything is not faithful.
 
 use tpv_stats::desc;
 use tpv_stats::iid::{spearman_lag1, turning_point_test};
@@ -42,19 +45,25 @@ pub struct FidelityReport {
     pub late_send_fraction: f64,
     /// Whether the send schedule was honoured.
     pub schedule_ok: bool,
+    /// In-window requests cut off by the drain horizon (from
+    /// [`RunResult::truncated_inflight`]).
+    pub truncated_inflight: u64,
+    /// Whether the run drained fully — a non-zero truncation count means
+    /// the recorded tail is right-censored and p99/max understate it.
+    pub drain_ok: bool,
 }
 
 impl FidelityReport {
     /// True when every individual check passed — the run's measurements
     /// can be trusted to represent the configured workload.
     pub fn workload_faithful(&self) -> bool {
-        self.dispersion_ok && self.independence_ok && self.randomness_ok && self.schedule_ok
+        self.dispersion_ok && self.independence_ok && self.randomness_ok && self.schedule_ok && self.drain_ok
     }
 
     /// Human-readable one-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "dispersion cv={} ({}), lag1 rho={} ({}), turning-point p={} ({}), late sends {:.1}% ({})",
+            "dispersion cv={} ({}), lag1 rho={} ({}), turning-point p={} ({}), late sends {:.1}% ({}), truncated in-flight {} ({})",
             self.dispersion_cv.map(|v| format!("{v:.2}")).unwrap_or_else(|| "n/a".into()),
             if self.dispersion_ok { "ok" } else { "FAIL" },
             self.lag1_rho.map(|v| format!("{v:.3}")).unwrap_or_else(|| "n/a".into()),
@@ -63,6 +72,8 @@ impl FidelityReport {
             if self.randomness_ok { "ok" } else { "FAIL" },
             self.late_send_fraction * 100.0,
             if self.schedule_ok { "ok" } else { "FAIL" },
+            self.truncated_inflight,
+            if self.drain_ok { "ok" } else { "FAIL" },
         )
     }
 }
@@ -95,7 +106,8 @@ pub fn assess(result: &RunResult, trace: &RunTrace) -> FidelityReport {
         }
     }
     let dispersion_cv = if gaps.len() >= 30 { Some(desc::coefficient_of_variation(&gaps)) } else { None };
-    let dispersion_ok = dispersion_cv.map(|cv| (DISPERSION_BAND.0..=DISPERSION_BAND.1).contains(&cv)).unwrap_or(true);
+    let dispersion_ok =
+        dispersion_cv.map(|cv| (DISPERSION_BAND.0..=DISPERSION_BAND.1).contains(&cv)).unwrap_or(true);
 
     let lag1 = spearman_lag1(&trace.latencies_us);
     let lag1_rho = lag1.map(|s| s.rho);
@@ -106,6 +118,7 @@ pub fn assess(result: &RunResult, trace: &RunTrace) -> FidelityReport {
     let randomness_ok = turning_point_p.map(|p| p >= MIN_TP_P).unwrap_or(true);
 
     let schedule_ok = result.late_send_fraction <= MAX_LATE_FRACTION;
+    let drain_ok = result.truncated_inflight == 0;
 
     FidelityReport {
         dispersion_cv,
@@ -116,19 +129,23 @@ pub fn assess(result: &RunResult, trace: &RunTrace) -> FidelityReport {
         randomness_ok,
         late_send_fraction: result.late_send_fraction,
         schedule_ok,
+        truncated_inflight: result.truncated_inflight,
+        drain_ok,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::{run_traced, RunSpec};
+    use crate::runtime::RunSpec;
     use tpv_hw::MachineConfig;
     use tpv_loadgen::GeneratorSpec;
     use tpv_net::LinkConfig;
     use tpv_services::kv::KvConfig;
     use tpv_services::{ServiceConfig, ServiceKind};
     use tpv_sim::SimDuration;
+
+    use crate::engine::Engine;
 
     fn traced(client: MachineConfig, qps: f64, seed: u64) -> (RunResult, RunTrace) {
         let service = ServiceConfig::without_interference(ServiceKind::Memcached(KvConfig {
@@ -148,7 +165,7 @@ mod tests {
             duration: SimDuration::from_ms(80),
             warmup: SimDuration::from_ms(10),
         };
-        run_traced(&spec, seed, 20_000)
+        Engine::serial().execute_traced(&spec, seed, 20_000)
     }
 
     #[test]
@@ -168,12 +185,19 @@ mod tests {
         // untuned machine disrupts its own schedule.
         let (result, trace) = traced(MachineConfig::low_power(), 100_000.0, 2);
         let report = assess(&result, &trace);
-        assert!(
-            result.late_send_fraction > 0.10,
-            "LP should slip sends: {}",
-            report.summary()
-        );
+        assert!(result.late_send_fraction > 0.10, "LP should slip sends: {}", report.summary());
         assert!(!report.workload_faithful(), "{}", report.summary());
+    }
+
+    #[test]
+    fn censored_tail_fails_the_drain_check() {
+        let (mut result, trace) = traced(MachineConfig::high_performance(), 100_000.0, 4);
+        result.truncated_inflight = 17;
+        let report = assess(&result, &trace);
+        assert!(!report.drain_ok);
+        assert_eq!(report.truncated_inflight, 17);
+        assert!(!report.workload_faithful(), "{}", report.summary());
+        assert!(report.summary().contains("truncated in-flight 17 (FAIL)"));
     }
 
     #[test]

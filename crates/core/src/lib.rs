@@ -6,7 +6,8 @@
 //! answers the paper's questions —
 //!
 //! * What do the end-to-end measurements look like? ([`runtime`],
-//!   [`experiment`])
+//!   [`experiment`], executed deterministically — parallel, cached or
+//!   serial — by [`engine`])
 //! * Do two client configurations lead to **different conclusions** about
 //!   the same server feature? ([`analysis`], Findings 1–2)
 //! * How many repetitions does each configuration need, and how long will
@@ -21,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod engine;
 pub mod experiment;
 pub mod fidelity;
 pub mod recommend;
@@ -30,5 +32,6 @@ pub mod scenarios;
 pub mod survey;
 
 pub use analysis::{Comparison, Summary, Verdict};
+pub use engine::{CacheStats, Engine, Job, JobPlan, RunCache};
 pub use experiment::{Benchmark, Experiment, ExperimentResults, ServerScenario};
 pub use runtime::{run_once, run_traced, RunResult, RunSpec, RunTrace};

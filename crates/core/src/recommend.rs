@@ -168,9 +168,8 @@ mod tests {
     fn iteration_method_follows_normality() {
         let mut rng = SimRng::seed_from_u64(1);
         // Normal-looking pilot → parametric.
-        let normal: Vec<f64> = (0..50)
-            .map(|_| 100.0 + tpv_sim::dist::Normal::standard_sample(&mut rng))
-            .collect();
+        let normal: Vec<f64> =
+            (0..50).map(|_| 100.0 + tpv_sim::dist::Normal::standard_sample(&mut rng)).collect();
         let rec = recommend(&GeneratorSpec::mutilate(), &TargetEnvironment::Unknown, Some(&normal));
         assert_eq!(rec.iteration_method, IterationMethod::Parametric);
         // Heavy-tailed pilot → CONFIRM.

@@ -64,6 +64,12 @@ pub struct RunResult {
     /// Estimated client generator-thread energy over the run, in
     /// core-seconds of C0-equivalent power.
     pub client_energy_core_secs: f64,
+    /// Requests stamped inside the measurement window whose responses
+    /// were still in flight when the drain horizon expired, and which are
+    /// therefore missing from the latency histogram. A non-zero value
+    /// means the recorded tail is right-censored — a fidelity diagnostic
+    /// (see [`crate::fidelity`]), not merely lost work.
+    pub truncated_inflight: u64,
 }
 
 impl RunResult {
@@ -80,10 +86,25 @@ impl RunResult {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    SendDue { conn: u32 },
-    ServerArrival { conn: u32, desc: RequestDescriptor, stamp: SimTime },
-    ServiceStage { conn: u32, desc: RequestDescriptor, stamp: SimTime, stage: u8, ctx: tpv_services::request::StageCtx },
-    ClientDelivery { conn: u32, stamp: SimTime },
+    SendDue {
+        conn: u32,
+    },
+    ServerArrival {
+        conn: u32,
+        desc: RequestDescriptor,
+        stamp: SimTime,
+    },
+    ServiceStage {
+        conn: u32,
+        desc: RequestDescriptor,
+        stamp: SimTime,
+        stage: u8,
+        ctx: tpv_services::request::StageCtx,
+    },
+    ClientDelivery {
+        conn: u32,
+        stamp: SimTime,
+    },
 }
 
 /// A bounded trace of one run, for workload-fidelity diagnostics
@@ -132,7 +153,8 @@ pub fn run_traced(spec: &RunSpec<'_>, seed: u64, max_trace: usize) -> (RunResult
     let server_env = spec.server.draw_environment(&mut env_rng);
 
     let mut client = ClientSide::new(*spec.generator, spec.client, &client_env);
-    let mut service = ServiceInstance::new(spec.service, spec.server, &server_env, spec.duration, &mut service_rng);
+    let mut service =
+        ServiceInstance::new(spec.service, spec.server, &server_env, spec.duration, &mut service_rng);
     let link = Link::new(spec.link, &mut net_rng);
 
     let n_conns = spec.generator.connections.max(1) as usize;
@@ -154,6 +176,10 @@ pub fn run_traced(spec: &RunSpec<'_>, seed: u64, max_trace: usize) -> (RunResult
     let horizon = window_end + spec.duration + SimDuration::from_secs(5);
 
     let mut hist = LatencyHistogram::new();
+    // In-window requests sent but not yet delivered: whatever is left
+    // when the loop ends was cut off by the drain horizon and is missing
+    // from the histogram (right-censored tail).
+    let mut inflight_measured: u64 = 0;
     let pom = spec.generator.pom;
     let mut trace = RunTrace {
         wire_departures: Vec::with_capacity(max_trace.min(1 << 20)),
@@ -173,6 +199,9 @@ pub fn run_traced(spec: &RunSpec<'_>, seed: u64, max_trace: usize) -> (RunResult
                 let arrival = conns[conn as usize].deliver_to_server(raw);
                 if trace.wire_departures.len() < max_trace && now >= window_start {
                     trace.wire_departures.push((conn, plan.wire));
+                }
+                if plan.stamp >= window_start && plan.stamp < window_end {
+                    inflight_measured += 1;
                 }
                 queue.schedule(arrival, Event::ServerArrival { conn, desc, stamp: plan.stamp });
                 if spec.generator.loop_mode == LoopMode::Open {
@@ -210,6 +239,7 @@ pub fn run_traced(spec: &RunSpec<'_>, seed: u64, max_trace: usize) -> (RunResult
                 let recv = client.receive(conn as usize, now, &mut client_rng);
                 let measured = recv.stamp(pom).since(stamp);
                 if stamp >= window_start && stamp < window_end {
+                    inflight_measured -= 1;
                     hist.record(measured);
                     if trace.latencies_us.len() < max_trace {
                         trace.latencies_us.push(measured.as_us());
@@ -239,6 +269,7 @@ pub fn run_traced(spec: &RunSpec<'_>, seed: u64, max_trace: usize) -> (RunResult
         mean_send_slip: client.mean_send_slip(),
         client_wakes: client.wakes_by_state(),
         client_energy_core_secs: client.energy_core_secs(window_end),
+        truncated_inflight: inflight_measured,
     };
     (result, trace)
 }
@@ -321,12 +352,7 @@ mod tests {
         let hp_cfg = MachineConfig::high_performance();
         let lp = run_once(&base_spec(&service, &lp_cfg, &server, &generator, &link, 100_000.0), 7);
         let hp = run_once(&base_spec(&service, &hp_cfg, &server, &generator, &link, 100_000.0), 7);
-        assert!(
-            lp.avg.as_us() > hp.avg.as_us() * 1.3,
-            "LP {} vs HP {}",
-            lp.avg,
-            hp.avg
-        );
+        assert!(lp.avg.as_us() > hp.avg.as_us() * 1.3, "LP {} vs HP {}", lp.avg, hp.avg);
         assert!(lp.p99 > hp.p99);
         // LP slips its sends; HP does not.
         assert!(lp.mean_send_slip > hp.mean_send_slip);
@@ -362,6 +388,37 @@ mod tests {
         spec.warmup = SimDuration::from_ms(30);
         let trimmed = run_once(&spec, 9);
         assert!(trimmed.samples < full.samples);
+    }
+
+    #[test]
+    fn healthy_run_truncates_nothing() {
+        let service = kv_service();
+        let client = MachineConfig::high_performance();
+        let server = MachineConfig::server_baseline();
+        let generator = GeneratorSpec::mutilate();
+        let link = LinkConfig::cloudlab_lan();
+        let spec = base_spec(&service, &client, &server, &generator, &link, 100_000.0);
+        let r = run_once(&spec, 5);
+        assert_eq!(r.truncated_inflight, 0, "unsaturated run must drain fully");
+    }
+
+    #[test]
+    fn overload_surfaces_truncated_inflight() {
+        // 10 workers at ~58 µs+10 ms per request cap the synthetic service
+        // near 1K QPS; offering 100K for 60 ms builds a backlog that far
+        // outlives the drain horizon, so in-window requests are cut off.
+        let service = ServiceConfig::without_interference(ServiceKind::Synthetic(
+            SyntheticConfig::with_delay(SimDuration::from_ms(10)),
+        ));
+        let client = MachineConfig::high_performance();
+        let server = MachineConfig::server_baseline();
+        let generator = GeneratorSpec::synthetic_client();
+        let link = LinkConfig::cloudlab_lan();
+        let spec = base_spec(&service, &client, &server, &generator, &link, 100_000.0);
+        let r = run_once(&spec, 6);
+        assert!(r.truncated_inflight > 0, "saturating backlog must be reported, got 0");
+        // The diagnostic counts real requests: bounded by what was sent.
+        assert!(r.truncated_inflight < 100_000, "implausible count {}", r.truncated_inflight);
     }
 
     #[test]

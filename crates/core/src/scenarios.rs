@@ -24,9 +24,7 @@ pub const SYNTHETIC_DELAYS_US: [u64; 5] = [0, 100, 200, 300, 400];
 pub const SYNTHETIC_QPS: [f64; 4] = [5_000.0, 10_000.0, 15_000.0, 20_000.0];
 
 fn both_clients(builder: ExperimentBuilder) -> ExperimentBuilder {
-    builder
-        .client(MachineConfig::low_power())
-        .client(MachineConfig::high_performance())
+    builder.client(MachineConfig::low_power()).client(MachineConfig::high_performance())
 }
 
 /// Fig. 2: Memcached, SMT on/off server, LP/HP clients, 10K–500K QPS.

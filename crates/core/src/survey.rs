@@ -94,10 +94,7 @@ pub fn client_specified_fraction() -> f64 {
     let specified = papers
         .iter()
         .filter(|p| {
-            matches!(
-                p.characterization,
-                Characterization::ClientOnly | Characterization::ClientAndServer
-            )
+            matches!(p.characterization, Characterization::ClientOnly | Characterization::ClientAndServer)
         })
         .count();
     specified as f64 / papers.len() as f64

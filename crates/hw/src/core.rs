@@ -141,11 +141,8 @@ impl CoreResource {
         let mut state = CState::C0;
         let mut stretch = self.config.work_scale(self.active_cores_estimate, &self.env);
 
-        let idle_gap = if self.fifo.is_idle_at(now) {
-            now.since(self.fifo.busy_until())
-        } else {
-            SimDuration::ZERO
-        };
+        let idle_gap =
+            if self.fifo.is_idle_at(now) { now.since(self.fifo.busy_until()) } else { SimDuration::ZERO };
 
         if self.idle_behavior == IdleBehavior::Sleep && !idle_gap.is_zero() {
             let vp = &self.config.variability;
@@ -164,8 +161,7 @@ impl CoreResource {
                 Some(s) => history.min(s),
                 None => history,
             };
-            let predicted =
-                basis.scale(self.env.governor_bias * prediction_noise / RESIDENCY_MARGIN);
+            let predicted = basis.scale(self.env.governor_bias * prediction_noise / RESIDENCY_MARGIN);
             state = self.config.cstates.select_state(&self.config.cstate_table, predicted);
             // Update the governor's history with the idle period that
             // actually happened.
@@ -341,7 +337,8 @@ mod tests {
         let g1 = core.acquire(SimTime::from_ms(5), SimDuration::from_us(100), &mut r);
         assert!(g1.wake_latency > SimDuration::ZERO);
         // Second item arrives while the first still runs: no new wake.
-        let g2 = core.acquire(SimTime::from_ms(5) + SimDuration::from_us(10), SimDuration::from_us(5), &mut r);
+        let g2 =
+            core.acquire(SimTime::from_ms(5) + SimDuration::from_us(10), SimDuration::from_us(5), &mut r);
         assert_eq!(g2.wake_latency, SimDuration::ZERO);
         assert_eq!(g2.cstate, CState::C0);
         assert!(g2.queue_wait > SimDuration::ZERO);

@@ -219,7 +219,9 @@ mod tests {
 
     #[test]
     fn ondemand_reacts_slower_than_powersave() {
-        assert!(FreqGovernor::Ondemand.idle_to_min_frequency() > FreqGovernor::Powersave.idle_to_min_frequency());
+        assert!(
+            FreqGovernor::Ondemand.idle_to_min_frequency() > FreqGovernor::Powersave.idle_to_min_frequency()
+        );
         assert!(FreqGovernor::Ondemand.drops_frequency_when_idle());
         assert!(!FreqGovernor::Performance.drops_frequency_when_idle());
     }

@@ -150,10 +150,8 @@ mod tests {
         };
         let mut rng = SimRng::seed_from_u64(3);
         let n = 4000;
-        let mean: f64 = (0..n)
-            .map(|_| RunEnvironment::draw(&profile, &mut rng).governor_bias)
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 =
+            (0..n).map(|_| RunEnvironment::draw(&profile, &mut rng).governor_bias).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.05, "mean governor bias {mean}");
     }
 }

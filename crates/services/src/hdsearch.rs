@@ -159,12 +159,8 @@ impl LshIndex {
 
     /// Exact brute-force top-`k` (ground truth for recall tests).
     pub fn brute_force(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
-        let mut scored: Vec<(u32, f32)> = self
-            .data
-            .iter()
-            .enumerate()
-            .map(|(id, v)| (id as u32, squared_distance(v, query)))
-            .collect();
+        let mut scored: Vec<(u32, f32)> =
+            self.data.iter().enumerate().map(|(id, v)| (id as u32, squared_distance(v, query))).collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         scored.truncate(k);
         scored
@@ -257,11 +253,7 @@ impl HdSearchService {
                 let base = &clustered_dataset(1, config.dim, 1, &mut data_rng)[0];
                 // Mix a real dataset point in so queries hit populated buckets.
                 let anchor = (i * 17) % index.len();
-                let q: Vector = index.data[anchor]
-                    .iter()
-                    .zip(base)
-                    .map(|(a, b)| a + 0.15 * b)
-                    .collect();
+                let q: Vector = index.data[anchor].iter().zip(base).map(|(a, b)| a + 0.15 * b).collect();
                 QueryProfile { shard_candidates: index.shard_candidate_counts(&q) }
             })
             .collect();
@@ -471,7 +463,9 @@ mod tests {
         loop {
             match out {
                 StageOutcome::Done(done) => return done,
-                StageOutcome::Continue { at, stage, ctx } => out = svc.resume(conn, desc, stage, ctx, at, rng),
+                StageOutcome::Continue { at, stage, ctx } => {
+                    out = svc.resume(conn, desc, stage, ctx, at, rng)
+                }
             }
         }
     }

@@ -139,7 +139,8 @@ mod tests {
     #[test]
     fn none_profile_draws_nothing() {
         let mut rng = SimRng::seed_from_u64(1);
-        let ri = RunInterference::draw(&InterferenceProfile::none(), 10, SimDuration::from_secs(10), &mut rng);
+        let ri =
+            RunInterference::draw(&InterferenceProfile::none(), 10, SimDuration::from_secs(10), &mut rng);
         assert_eq!(ri.total_spikes(), 0);
     }
 

@@ -295,7 +295,14 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(seed);
         let env = RunEnvironment::neutral();
         let cfg = KvConfig { preload_keys: 1_000, fidelity: 1, ..KvConfig::default() };
-        let svc = KvService::new(cfg, server, &env, &InterferenceProfile::none(), SimDuration::from_secs(1), &mut rng);
+        let svc = KvService::new(
+            cfg,
+            server,
+            &env,
+            &InterferenceProfile::none(),
+            SimDuration::from_secs(1),
+            &mut rng,
+        );
         (svc, rng)
     }
 

@@ -84,14 +84,9 @@ impl ServiceInstance {
         rng: &mut SimRng,
     ) -> Self {
         match config.kind {
-            ServiceKind::Memcached(c) => ServiceInstance::Memcached(KvService::new(
-                c,
-                server,
-                env,
-                &config.interference,
-                horizon,
-                rng,
-            )),
+            ServiceKind::Memcached(c) => {
+                ServiceInstance::Memcached(KvService::new(c, server, env, &config.interference, horizon, rng))
+            }
             ServiceKind::HdSearch(c) => ServiceInstance::HdSearch(HdSearchService::new(
                 c,
                 server,
@@ -209,7 +204,11 @@ mod tests {
     fn every_service_round_trips_one_request() {
         let kinds = [
             ServiceKind::Memcached(KvConfig { preload_keys: 500, ..KvConfig::default() }),
-            ServiceKind::HdSearch(HdSearchConfig { dataset_size: 512, profile_queries: 16, ..HdSearchConfig::default() }),
+            ServiceKind::HdSearch(HdSearchConfig {
+                dataset_size: 512,
+                profile_queries: 16,
+                ..HdSearchConfig::default()
+            }),
             ServiceKind::SocialNetwork(SocialConfig { users: 100, ..SocialConfig::default() }),
             ServiceKind::Synthetic(SyntheticConfig::default()),
         ];

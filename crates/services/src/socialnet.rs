@@ -408,7 +408,9 @@ mod tests {
         loop {
             match out {
                 StageOutcome::Done(done) => return done,
-                StageOutcome::Continue { at, stage, ctx } => out = svc.resume(conn, desc, stage, ctx, at, rng),
+                StageOutcome::Continue { at, stage, ctx } => {
+                    out = svc.resume(conn, desc, stage, ctx, at, rng)
+                }
             }
         }
     }

@@ -30,11 +30,7 @@ pub struct SyntheticConfig {
 
 impl Default for SyntheticConfig {
     fn default() -> Self {
-        SyntheticConfig {
-            workers: 10,
-            base_service: SimDuration::from_us(8),
-            added_delay: SimDuration::ZERO,
-        }
+        SyntheticConfig { workers: 10, base_service: SimDuration::from_us(8), added_delay: SimDuration::ZERO }
     }
 }
 
@@ -170,7 +166,7 @@ mod tests {
     #[should_panic(expected = "non-synthetic request")]
     fn wrong_descriptor_panics() {
         let (mut svc, mut rng) = service(0, 3);
-        svc.handle(0, &RequestDescriptor::Synthetic { }, SimTime::ZERO, &mut rng);
+        svc.handle(0, &RequestDescriptor::Synthetic {}, SimTime::ZERO, &mut rng);
         svc.handle(0, &RequestDescriptor::Timeline { user: 0 }, SimTime::ZERO, &mut rng);
     }
 }

@@ -177,11 +177,8 @@ impl WorkerPool {
             .chain(std::iter::once(self.irq_core.busy_until()))
             .max()
             .unwrap_or(SimTime::ZERO);
-        let socket_idle = if arrival >= socket_busy_until {
-            arrival.since(socket_busy_until)
-        } else {
-            SimDuration::ZERO
-        };
+        let socket_idle =
+            if arrival >= socket_busy_until { arrival.since(socket_busy_until) } else { SimDuration::ZERO };
         let hint = Some(SimDuration::from_ns(socket_idle.as_ns() / SOCKET_IDLE_DIVISOR));
 
         // The IRQ/softirq dispatch core wakes first (it pays the same
@@ -202,8 +199,7 @@ impl WorkerPool {
         if rng.next_bool(0.012) {
             work += Exponential::with_mean(35.0).sample_us(rng);
         }
-        let grant: CoreGrant =
-            self.workers[worker].acquire_with_hint(irq.end + path_delay, work, rng, hint);
+        let grant: CoreGrant = self.workers[worker].acquire_with_hint(irq.end + path_delay, work, rng, hint);
         PoolGrant {
             end: grant.end,
             busy: work + IRQ_DISPATCH_COST,
@@ -267,7 +263,13 @@ mod tests {
         let mut srv = MachineConfig::server_baseline();
         srv.variability = tpv_hw::env::VariabilityProfile::none();
         let (mut pool, mut rng) = quiet_pool(&srv, 1, 2);
-        let g = pool.execute(0, SimTime::from_us(100), SimDuration::from_us(10), SimDuration::from_us(2), &mut rng);
+        let g = pool.execute(
+            0,
+            SimTime::from_us(100),
+            SimDuration::from_us(10),
+            SimDuration::from_us(2),
+            &mut rng,
+        );
         // End = arrival + wake + 12 µs of work (no queue).
         let total = g.end.since(SimTime::from_us(100));
         assert!(total >= SimDuration::from_us(12), "total {total}");
@@ -307,8 +309,10 @@ mod tests {
         let mut wake_c1 = SimDuration::ZERO;
         for i in 1..=20u64 {
             let at = SimTime::from_us(500 * i);
-            wake_c1e += pool_c1e.execute(0, at, SimDuration::from_us(10), SimDuration::ZERO, &mut r1).wake_latency;
-            wake_c1 += pool_c1.execute(0, at, SimDuration::from_us(10), SimDuration::ZERO, &mut r2).wake_latency;
+            wake_c1e +=
+                pool_c1e.execute(0, at, SimDuration::from_us(10), SimDuration::ZERO, &mut r1).wake_latency;
+            wake_c1 +=
+                pool_c1.execute(0, at, SimDuration::from_us(10), SimDuration::ZERO, &mut r2).wake_latency;
         }
         assert!(wake_c1e > wake_c1, "C1E wakes {wake_c1e} !> C1 wakes {wake_c1}");
     }
@@ -338,7 +342,14 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(11);
         let mut noisy = WorkerPool::new(&srv, &env, 1, &profile, SimDuration::from_secs(1), &mut rng);
         let mut rng2 = SimRng::seed_from_u64(11);
-        let mut clean = WorkerPool::new(&srv, &env, 1, &InterferenceProfile::none(), SimDuration::from_secs(1), &mut rng2);
+        let mut clean = WorkerPool::new(
+            &srv,
+            &env,
+            1,
+            &InterferenceProfile::none(),
+            SimDuration::from_secs(1),
+            &mut rng2,
+        );
         // Drive the pools to high utilisation so spikes collide.
         let mut end_noisy = SimTime::ZERO;
         let mut end_clean = SimTime::ZERO;

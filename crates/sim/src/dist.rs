@@ -140,7 +140,10 @@ impl Normal {
     ///
     /// Panics if `std_dev` is negative or either parameter is non-finite.
     pub fn new(mean: f64, std_dev: f64) -> Self {
-        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0, "bad normal parameters ({mean}, {std_dev})");
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "bad normal parameters ({mean}, {std_dev})"
+        );
         Normal { mean, std_dev }
     }
 
@@ -177,7 +180,10 @@ impl LogNormal {
     ///
     /// Panics if `sigma` is negative or either parameter is non-finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "bad lognormal parameters ({mu}, {sigma})");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "bad lognormal parameters ({mu}, {sigma})"
+        );
         LogNormal { mu, sigma }
     }
 

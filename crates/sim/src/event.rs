@@ -56,30 +56,19 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            last_popped: SimTime::ZERO,
-        }
+        EventQueue { heap: BinaryHeap::new(), seq: 0, last_popped: SimTime::ZERO }
     }
 
     /// Creates an empty queue with room for `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            seq: 0,
-            last_popped: SimTime::ZERO,
-        }
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), seq: 0, last_popped: SimTime::ZERO }
     }
 
     /// Schedules `event` to fire at `at`.

@@ -67,13 +67,7 @@ fn bucket_high(index: usize) -> u64 {
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram {
-            counts: Vec::new(),
-            total: 0,
-            min: u64::MAX,
-            max: 0,
-            welford: Welford::new(),
-        }
+        LatencyHistogram { counts: Vec::new(), total: 0, min: u64::MAX, max: 0, welford: Welford::new() }
     }
 
     /// Records one duration.

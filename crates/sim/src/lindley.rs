@@ -57,11 +57,8 @@ impl FifoResource {
     /// is asserted in debug builds.
     pub fn offer(&mut self, arrival: SimTime, service: SimDuration) -> Grant {
         let start = arrival.max(self.busy_until);
-        let idle_before = if arrival >= self.busy_until {
-            arrival.since(self.busy_until)
-        } else {
-            SimDuration::ZERO
-        };
+        let idle_before =
+            if arrival >= self.busy_until { arrival.since(self.busy_until) } else { SimDuration::ZERO };
         let end = start + service;
         let queue_wait = start.since(arrival);
         self.busy_until = end;

@@ -91,12 +91,7 @@ pub fn nonparametric_median_ci(xs: &[f64], level: f64) -> Option<ConfidenceInter
     let (lo_rank, hi_rank) = nonparametric_ci_ranks(xs.len(), level)?;
     let v = sorted(xs);
     let mid = crate::desc::median(xs);
-    let ci = ConfidenceInterval {
-        low: v[lo_rank - 1],
-        mid,
-        high: v[hi_rank - 1],
-        level,
-    };
+    let ci = ConfidenceInterval { low: v[lo_rank - 1], mid, high: v[hi_rank - 1], level };
     debug_assert!(ci.low <= ci.mid && ci.mid <= ci.high, "median escaped its CI");
     Some(ci)
 }
@@ -117,12 +112,7 @@ pub fn parametric_mean_ci(xs: &[f64], level: f64) -> Option<ConfidenceInterval> 
     let s = std_dev(xs);
     let t = t_quantile(0.5 + level / 2.0, (n - 1) as f64);
     let half = t * s / (n as f64).sqrt();
-    Some(ConfidenceInterval {
-        low: m - half,
-        mid: m,
-        high: m + half,
-        level,
-    })
+    Some(ConfidenceInterval { low: m - half, mid: m, high: m + half, level })
 }
 
 /// Parametric confidence interval for the mean using the normal (z)
@@ -139,12 +129,7 @@ pub fn parametric_mean_ci_z(xs: &[f64], level: f64) -> Option<ConfidenceInterval
     let s = std_dev(xs);
     let z = norm_quantile(0.5 + level / 2.0);
     let half = z * s / (n as f64).sqrt();
-    Some(ConfidenceInterval {
-        low: m - half,
-        mid: m,
-        high: m + half,
-        level,
-    })
+    Some(ConfidenceInterval { low: m - half, mid: m, high: m + half, level })
 }
 
 #[cfg(test)]

@@ -105,12 +105,8 @@ pub fn norm_quantile(p: f64) -> f64 {
         4.374664141464968e+00,
         2.938163982698783e+00,
     ];
-    const D: [f64; 4] = [
-        7.784695709041462e-03,
-        3.224671290700398e-01,
-        2.445134137142996e+00,
-        3.754408661907416e+00,
-    ];
+    const D: [f64; 4] =
+        [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00];
     const P_LOW: f64 = 0.02425;
 
     let x = if p < P_LOW {

@@ -41,11 +41,8 @@ pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Option<MannWhitney> {
         return None;
     }
     // Joint ranking with average ranks for ties.
-    let mut all: Vec<(f64, usize)> = xs
-        .iter()
-        .map(|&v| (v, 0usize))
-        .chain(ys.iter().map(|&v| (v, 1usize)))
-        .collect();
+    let mut all: Vec<(f64, usize)> =
+        xs.iter().map(|&v| (v, 0usize)).chain(ys.iter().map(|&v| (v, 1usize))).collect();
     all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN sample"));
 
     let n = all.len();

@@ -57,10 +57,7 @@ fn main() {
         println!("\nfleet sizing for {TARGET_LOAD_QPS} QPS:");
         println!("  provisioned from LP measurements: {lp_machines} machines");
         println!("  provisioned from HP measurements: {hp_machines} machines");
-        println!(
-            "  => the untuned client overprovisions by {:.2}x (paper: 1.6x)",
-            lp_machines / hp_machines
-        );
+        println!("  => the untuned client overprovisions by {:.2}x (paper: 1.6x)", lp_machines / hp_machines);
     } else {
         println!("\n(one client never met the QoS target at the tested loads)");
     }

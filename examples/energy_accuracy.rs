@@ -27,18 +27,10 @@ fn main() {
         for client in ["LP", "HP"] {
             let cell = results.cell(client, "SMToff", q).unwrap();
             let s = cell.summary();
-            let energy_rate: f64 = cell
-                .samples
-                .iter()
-                .map(|r| r.client_energy_core_secs)
-                .sum::<f64>()
+            let energy_rate: f64 = cell.samples.iter().map(|r| r.client_energy_core_secs).sum::<f64>()
                 / cell.samples.len() as f64
                 / 0.3; // per simulated second (0.3 s runs)
-            println!(
-                "{:>8} | {client:<6} | {:>14.1} | {energy_rate:>8.1}",
-                q as u64,
-                s.avg_median_us()
-            );
+            println!("{:>8} | {client:<6} | {:>14.1} | {energy_rate:>8.1}", q as u64, s.avg_median_us());
         }
     }
 

@@ -39,11 +39,8 @@ fn main() {
             };
             // The paper's rule: trust the parametric count only when the
             // samples look normal; otherwise go non-parametric.
-            let chosen = if est.shapiro_pass == Some(true) {
-                est.parametric
-            } else {
-                est.confirm.lower_bound()
-            };
+            let chosen =
+                if est.shapiro_pass == Some(true) { est.parametric } else { est.confirm.lower_bound() };
             let eval = evaluation_time(chosen, paper_run);
             println!(
                 "{client:<3} @ {q:>7.0} | {normal:>7} | {:>6} | {:>7} | {:>6.1} min",

@@ -18,10 +18,7 @@ fn main() {
         ("LP (default)", lp),
         ("LP + C-states off", lp.with_cstates(CStatePolicy::PollIdle)),
         ("LP + C-states<=C1", lp.with_cstates(CStatePolicy::UpToC1)),
-        (
-            "LP + performance gov",
-            lp.with_dvfs(FreqDriver::IntelPstate, FreqGovernor::Performance),
-        ),
+        ("LP + performance gov", lp.with_dvfs(FreqDriver::IntelPstate, FreqGovernor::Performance)),
         ("LP + fixed uncore", lp.with_uncore(UncoreMode::Fixed)),
         ("LP + turbo off", lp.with_turbo(false)),
         ("HP (fully tuned)", MachineConfig::high_performance()),
@@ -39,11 +36,7 @@ fn main() {
     let results = builder.build().run();
 
     println!("memcached @ 50K QPS — client knob ablation (avg / p99, µs):\n");
-    let hp_avg = results
-        .cell("HP (fully tuned)", "SMToff", 50_000.0)
-        .unwrap()
-        .summary()
-        .avg_median_us();
+    let hp_avg = results.cell("HP (fully tuned)", "SMToff", 50_000.0).unwrap().summary().avg_median_us();
     for (label, _) in &variants {
         let s = results.cell(label, "SMToff", 50_000.0).unwrap().summary();
         println!(

@@ -39,7 +39,11 @@ fn main() {
             println!("  {}", report.summary());
             println!(
                 "  verdict: workload {}\n",
-                if report.workload_faithful() { "FAITHFUL — measurements represent the configured load" } else { "DISRUPTED — fix the client before trusting these numbers" }
+                if report.workload_faithful() {
+                    "FAITHFUL — measurements represent the configured load"
+                } else {
+                    "DISRUPTED — fix the client before trusting these numbers"
+                }
             );
         }
     }

@@ -1,0 +1,165 @@
+//! Offline shim for `criterion`: a minimal wall-clock benchmark harness
+//! exposing the subset of criterion's API the workspace benches use.
+//!
+//! The build environment has no access to crates.io, so this shim keeps
+//! `cargo bench` working: every benchmark closure really executes and a
+//! mean wall-clock time per iteration is printed. There is no statistical
+//! analysis, outlier detection or HTML report — swap the
+//! `support/criterion` path dependency for the real crate to get those.
+//!
+//! Invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets), it runs each benchmark for a single iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Maximum measurement time per benchmark (after one warm-up call).
+const TARGET_TIME: Duration = Duration::from_millis(200);
+/// Measurement iteration cap.
+const MAX_ITERS: u64 = 50;
+
+/// Top-level benchmark driver (shim for `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: if self.test_mode { 1 } else { MAX_ITERS },
+            elapsed: Duration::ZERO,
+            executed: 0,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named group of related benchmarks (shim for criterion's group).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores the hint.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let test_mode = self.criterion.test_mode;
+        let mut b =
+            Bencher { iters: if test_mode { 1 } else { MAX_ITERS }, elapsed: Duration::ZERO, executed: 0 };
+        f(&mut b, input);
+        report(&full, &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of a parameterised benchmark (shim for `criterion::BenchmarkId`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from the parameter's display form.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    executed: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly up to the shim's iteration
+    /// and wall-clock caps.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up run, not timed.
+        let _ = black_box(routine());
+        let start = Instant::now();
+        let mut n = 0u64;
+        while n < self.iters {
+            let _ = black_box(routine());
+            n += 1;
+            if start.elapsed() > TARGET_TIME {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.executed = n;
+    }
+}
+
+/// Identity function that defeats constant-folding of benchmark results.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.executed == 0 {
+        println!("{name:<50} (closure never called b.iter)");
+        return;
+    }
+    let per = b.elapsed.as_nanos() as f64 / b.executed as f64;
+    println!("{name:<50} {:>12.0} ns/iter ({} iters)", per, b.executed);
+}
+
+/// Shim for `criterion::criterion_group!`: bundles benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Shim for `criterion::criterion_main!`: entry point running the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,17 @@
+//! Offline shim for `serde`: trait markers plus no-op derive macros.
+//!
+//! The build environment has no access to crates.io, and the workspace
+//! only uses `#[derive(Serialize, Deserialize)]` as annotations on config
+//! types (nothing calls a serializer). This facade keeps those
+//! annotations compiling; replace the `support/serde*` path dependencies
+//! with the real crates when a registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented by the
+/// no-op derive; present so trait-position imports resolve).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (never implemented by the
+/// no-op derive; present so trait-position imports resolve).
+pub trait Deserialize<'de>: Sized {}

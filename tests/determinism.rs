@@ -16,7 +16,10 @@ use tpv::sim::SimDuration;
 fn services() -> Vec<(ServiceConfig, GeneratorSpec, f64, u64)> {
     vec![
         (
-            ServiceConfig::new(ServiceKind::Memcached(KvConfig { preload_keys: 2_000, ..KvConfig::default() })),
+            ServiceConfig::new(ServiceKind::Memcached(KvConfig {
+                preload_keys: 2_000,
+                ..KvConfig::default()
+            })),
             GeneratorSpec::mutilate(),
             100_000.0,
             40,
@@ -32,13 +35,18 @@ fn services() -> Vec<(ServiceConfig, GeneratorSpec, f64, u64)> {
             200,
         ),
         (
-            ServiceConfig::new(ServiceKind::SocialNetwork(SocialConfig { users: 200, ..SocialConfig::default() })),
+            ServiceConfig::new(ServiceKind::SocialNetwork(SocialConfig {
+                users: 200,
+                ..SocialConfig::default()
+            })),
             GeneratorSpec::wrk2(),
             300.0,
             400,
         ),
         (
-            ServiceConfig::new(ServiceKind::Synthetic(SyntheticConfig::with_delay(SimDuration::from_us(100)))),
+            ServiceConfig::new(ServiceKind::Synthetic(SyntheticConfig::with_delay(SimDuration::from_us(
+                100,
+            )))),
             GeneratorSpec::synthetic_client(),
             10_000.0,
             60,
@@ -73,10 +81,8 @@ fn same_seed_is_bit_identical_for_every_service() {
 
 #[test]
 fn seeds_change_results_but_not_their_scale() {
-    let service = ServiceConfig::new(ServiceKind::Memcached(KvConfig {
-        preload_keys: 2_000,
-        ..KvConfig::default()
-    }));
+    let service =
+        ServiceConfig::new(ServiceKind::Memcached(KvConfig { preload_keys: 2_000, ..KvConfig::default() }));
     let client = MachineConfig::high_performance();
     let server = MachineConfig::server_baseline();
     let generator = GeneratorSpec::mutilate();

@@ -9,10 +9,8 @@ use tpv::services::{ServiceConfig, ServiceKind};
 
 fn run_with_pom(pom: PointOfMeasurement, client: MachineConfig, seed: u64) -> f64 {
     let mut bench = Benchmark::memcached();
-    bench.service = ServiceConfig::new(ServiceKind::Memcached(KvConfig {
-        preload_keys: 2_000,
-        ..KvConfig::default()
-    }));
+    bench.service =
+        ServiceConfig::new(ServiceKind::Memcached(KvConfig { preload_keys: 2_000, ..KvConfig::default() }));
     bench.generator = bench.generator.with_pom(pom);
     let results = Experiment::builder(bench)
         .client(client)

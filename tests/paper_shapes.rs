@@ -10,10 +10,8 @@ use tpv::services::{ServiceConfig, ServiceKind};
 fn memcached_fast() -> Benchmark {
     let mut b = Benchmark::memcached();
     // Smaller keyspace keeps per-run setup cheap in debug builds.
-    b.service = ServiceConfig::new(ServiceKind::Memcached(KvConfig {
-        preload_keys: 2_000,
-        ..KvConfig::default()
-    }));
+    b.service =
+        ServiceConfig::new(ServiceKind::Memcached(KvConfig { preload_keys: 2_000, ..KvConfig::default() }));
     b
 }
 
