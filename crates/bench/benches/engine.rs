@@ -91,5 +91,50 @@ fn bench_full_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_histogram, bench_core_resource, bench_full_run);
+fn bench_fleet_run(c: &mut Criterion) {
+    use tpv_core::runtime::run_topology;
+    use tpv_core::topology::{uniform_fleet, TopologySpec};
+
+    let mut group = c.benchmark_group("memcached_fleet_50ms");
+    group.sample_size(10);
+    for nodes in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            let service = ServiceConfig::new(ServiceKind::Memcached(KvConfig {
+                preload_keys: 10_000,
+                ..KvConfig::default()
+            }));
+            let server = MachineConfig::server_baseline();
+            let fleet = uniform_fleet(
+                "agent",
+                MachineConfig::high_performance(),
+                GeneratorSpec::mutilate(),
+                LinkConfig::cloudlab_lan(),
+                100_000.0,
+                n,
+            );
+            let spec = TopologySpec {
+                service: &service,
+                server: &server,
+                nodes: &fleet,
+                duration: SimDuration::from_ms(50),
+                warmup: SimDuration::from_ms(5),
+            };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_topology(&spec, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_histogram,
+    bench_core_resource,
+    bench_full_run,
+    bench_fleet_run
+);
 criterion_main!(benches);

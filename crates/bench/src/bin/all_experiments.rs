@@ -5,16 +5,44 @@
 //! `TPV_RUN_SECS` / `TPV_SEED` environment variables as the individual
 //! binaries.
 //!
-//! Usage: `all_experiments [--all]` — `--all` additionally runs the
-//! extension experiments after the paper artefacts.
+//! Usage: `all_experiments [--all] [--list]`
+//!
+//! * `--all` additionally runs the extension experiments after the paper
+//!   artefacts.
+//! * `--list` prints the study registry (name, kind, title) without
+//!   running anything.
 
 use tpv_bench::study::{registry, StudyCtx, StudyKind};
+use tpv_core::engine::CacheStats;
+
+fn kind_name(kind: StudyKind) -> &'static str {
+    match kind {
+        StudyKind::Table => "table",
+        StudyKind::Figure => "figure",
+        StudyKind::Extension => "extension",
+        StudyKind::Diagnostic => "diagnostic",
+    }
+}
+
+fn list_registry() {
+    println!("{:<24} {:<11} title", "name", "kind");
+    println!("{:-<24} {:-<11} {:-<40}", "", "", "");
+    for study in registry() {
+        println!("{:<24} {:<11} {}", study.name, kind_name(study.kind), study.title);
+    }
+}
 
 fn main() {
-    let include_extensions = std::env::args().any(|a| a == "--all");
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        list_registry();
+        return;
+    }
+    let include_extensions = args.iter().any(|a| a == "--all");
     let ctx = StudyCtx::new();
     let mut ran = 0usize;
     let mut failures: Vec<&'static str> = Vec::new();
+    let mut last = CacheStats::default();
     for study in registry() {
         let in_suite = match study.kind {
             StudyKind::Table | StudyKind::Figure => true,
@@ -37,6 +65,22 @@ fn main() {
                 failures.push(study.name);
             }
         }
+        // Per-study cache report: how much of this artefact was replayed
+        // from cells earlier studies already executed.
+        if let Some(cache) = ctx.cache() {
+            let now = cache.stats();
+            let hits = now.hits - last.hits;
+            let misses = now.misses - last.misses;
+            let jobs = hits + misses;
+            if jobs > 0 {
+                println!(
+                    "[cache] {}: {hits} of {jobs} jobs from cache ({:.0}%), {misses} executed",
+                    study.name,
+                    100.0 * hits as f64 / jobs as f64
+                );
+            }
+            last = now;
+        }
     }
     println!("\n================================================================");
     if let Some(cache) = ctx.cache() {
@@ -44,8 +88,8 @@ fn main() {
         let total = stats.hits + stats.misses;
         let pct = if total > 0 { 100.0 * stats.hits as f64 / total as f64 } else { 0.0 };
         println!(
-            "run cache: {} of {} jobs served from cache ({pct:.0}% — baseline cells shared across artefacts)",
-            stats.hits, total
+            "run cache: {} of {} jobs served from cache ({pct:.0}% — baseline cells shared across artefacts); {} distinct results held",
+            stats.hits, total, stats.entries
         );
     }
     if failures.is_empty() {

@@ -6,6 +6,8 @@
 
 pub(crate) mod calibrate;
 pub(crate) mod ext_closed_loop;
+pub(crate) mod ext_fleet_scaling;
+pub(crate) mod ext_mixed_fleet;
 pub(crate) mod ext_space_exploration;
 pub(crate) mod ext_verdict_methods;
 pub(crate) mod fig2;

@@ -11,7 +11,8 @@
 
 use std::sync::Arc;
 
-use tpv_core::engine::{Engine, RunCache};
+use tpv_core::engine::{fingerprint_topology, Engine, JobPlan, RunCache};
+use tpv_core::topology::{FleetResult, TopologySpec};
 
 use crate::studies;
 
@@ -44,6 +45,27 @@ impl StudyCtx {
     /// The engine's cache (always present for contexts built here).
     pub fn cache(&self) -> Option<&Arc<RunCache>> {
         self.engine.cache()
+    }
+
+    /// Executes `runs` seeded fleet runs of every topology cell through
+    /// the context engine and regroups the results per cell — the fleet
+    /// counterpart of `Experiment::run_with`, shared by the topology
+    /// studies so the fingerprint → plan → execute → regroup convention
+    /// lives in one place.
+    pub fn run_fleet_cells(
+        &self,
+        topos: &[TopologySpec<'_>],
+        runs: usize,
+        seed: u64,
+    ) -> Vec<Vec<FleetResult>> {
+        let fingerprints: Vec<u64> = topos.iter().map(fingerprint_topology).collect();
+        let plan = JobPlan::new(seed, &fingerprints, runs);
+        let results = self.engine.execute_topology(&plan, |cell| topos[cell]);
+        let mut per_cell: Vec<Vec<FleetResult>> = vec![Vec::with_capacity(runs); topos.len()];
+        for (cell, _, fleet) in results {
+            per_cell[cell].push(fleet);
+        }
+        per_cell
     }
 }
 
@@ -152,6 +174,18 @@ pub fn registry() -> Vec<Study> {
             title: "Extension: Section VI client-grid space exploration",
             kind: StudyKind::Extension,
             run: studies::ext_space_exploration::run,
+        },
+        Study {
+            name: "ext_mixed_fleet",
+            title: "Extension: mixed fleet — misconfigured-client minority vs aggregate p99",
+            kind: StudyKind::Extension,
+            run: studies::ext_mixed_fleet::run,
+        },
+        Study {
+            name: "ext_fleet_scaling",
+            title: "Extension: one offered load spread over 1..16 client nodes",
+            kind: StudyKind::Extension,
+            run: studies::ext_fleet_scaling::run,
         },
         Study {
             name: "ext_verdict_methods",

@@ -1,0 +1,203 @@
+//! Pluggable metric collection for the topology kernel.
+//!
+//! The kernel always produces the aggregate [`RunResult`]; a
+//! [`Collector`] hooks into the hot loop to accumulate anything beyond
+//! it — per-node latency histograms ([`PerNodeCollector`]), bounded
+//! fidelity traces ([`TraceCollector`]), or nothing at all
+//! ([`NullCollector`], the zero-cost default `run_once` compiles
+//! against). The kernel is generic over the collector, so the null case
+//! monomorphizes to empty inlined hooks.
+
+use tpv_sim::{LatencyHistogram, SimDuration, SimTime};
+
+use crate::runtime::{RunResult, RunTrace};
+
+/// Per-node end-of-run statistics handed to [`Collector::on_node_done`].
+#[derive(Debug, Clone, Copy)]
+pub struct NodeStats {
+    /// The node's generator-thread wake-ups per C-state `[C0, C1, C1E, C6]`.
+    pub wakes: [u64; 4],
+    /// The node's generator-thread energy over the run (core-seconds of
+    /// C0-equivalent power).
+    pub energy_core_secs: f64,
+    /// The node's raw send-schedule counters.
+    pub sends: tpv_loadgen::SendStats,
+    /// This node's in-window requests cut off by the drain horizon.
+    pub truncated_inflight: u64,
+    /// The node's offered load.
+    pub target_qps: f64,
+    /// Length of the measurement window (duration − warmup).
+    pub measured: SimDuration,
+}
+
+/// Hot-loop observation points of the topology kernel.
+///
+/// All hooks default to no-ops; implement only what the collection needs.
+/// Node indices refer to declaration order in the
+/// [`TopologySpec`](crate::topology::TopologySpec).
+pub trait Collector {
+    /// A request left `node` on node-local connection `conn`: `due` is
+    /// the scheduled send instant, `wire` the actual wire departure.
+    fn on_send(&mut self, node: usize, conn: u32, due: SimTime, wire: SimTime) {
+        let _ = (node, conn, due, wire);
+    }
+
+    /// An in-window request from `node` completed with end-to-end latency
+    /// `measured` (called exactly when the aggregate histogram records).
+    fn on_latency(&mut self, node: usize, measured: SimDuration) {
+        let _ = (node, measured);
+    }
+
+    /// End-of-run statistics for `node`.
+    fn on_node_done(&mut self, node: usize, stats: &NodeStats) {
+        let _ = (node, stats);
+    }
+}
+
+/// Collects nothing; what [`crate::runtime::run_once`] runs with.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {}
+
+/// Accumulates one latency histogram per client node and folds each
+/// node's end-of-run statistics into a per-node [`RunResult`].
+#[derive(Debug)]
+pub struct PerNodeCollector {
+    hists: Vec<LatencyHistogram>,
+    results: Vec<Option<RunResult>>,
+}
+
+impl PerNodeCollector {
+    /// A collector for a topology of `nodes` client nodes.
+    pub fn new(nodes: usize) -> Self {
+        PerNodeCollector {
+            hists: (0..nodes).map(|_| LatencyHistogram::new()).collect(),
+            results: vec![None; nodes],
+        }
+    }
+
+    /// The per-node results, in node declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has not run to completion with this collector.
+    pub fn into_results(self) -> Vec<RunResult> {
+        self.results.into_iter().map(|r| r.expect("kernel did not finish this node")).collect()
+    }
+}
+
+impl Collector for PerNodeCollector {
+    fn on_latency(&mut self, node: usize, measured: SimDuration) {
+        self.hists[node].record(measured);
+    }
+
+    fn on_node_done(&mut self, node: usize, stats: &NodeStats) {
+        self.results[node] = Some(RunResult::from_histogram(
+            &self.hists[node],
+            stats.measured,
+            stats.target_qps,
+            stats.sends,
+            stats.wakes,
+            stats.energy_core_secs,
+            stats.truncated_inflight,
+        ));
+    }
+}
+
+/// Collects a bounded [`RunTrace`] for workload-fidelity diagnostics
+/// (what [`crate::runtime::run_traced`] runs with).
+#[derive(Debug)]
+pub struct TraceCollector {
+    trace: RunTrace,
+    max_trace: usize,
+    window_start: SimTime,
+}
+
+impl TraceCollector {
+    /// A collector recording up to `max_trace` sends and latencies from
+    /// the window starting at `window_start`.
+    ///
+    /// Pre-allocation is capped by `expected_sends` — an estimate from
+    /// `qps × duration` — as well as by `max_trace` and a 1 Mi hard
+    /// ceiling, so a short run with a huge `max_trace` does not reserve
+    /// a million slots up front.
+    pub fn new(
+        max_trace: usize,
+        window_start: SimTime,
+        scheduled_gap: SimDuration,
+        expected_sends: usize,
+    ) -> Self {
+        let cap = max_trace.min(expected_sends).min(1 << 20);
+        TraceCollector {
+            trace: RunTrace {
+                wire_departures: Vec::with_capacity(cap),
+                latencies_us: Vec::with_capacity(cap),
+                scheduled_gap_us: scheduled_gap.as_us(),
+            },
+            max_trace,
+            window_start,
+        }
+    }
+
+    /// The collected trace.
+    pub fn into_trace(self) -> RunTrace {
+        self.trace
+    }
+}
+
+impl Collector for TraceCollector {
+    fn on_send(&mut self, _node: usize, conn: u32, due: SimTime, wire: SimTime) {
+        if self.trace.wire_departures.len() < self.max_trace && due >= self.window_start {
+            self.trace.wire_departures.push((conn, wire));
+        }
+    }
+
+    fn on_latency(&mut self, _node: usize, measured: SimDuration) {
+        if self.trace.latencies_us.len() < self.max_trace {
+            self.trace.latencies_us.push(measured.as_us());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_preallocation_is_bounded_by_the_send_estimate() {
+        // A short run cannot justify a 1 Mi reservation even when the
+        // caller asks to trace "everything".
+        let c = TraceCollector::new(1 << 20, SimTime::ZERO, SimDuration::from_us(100), 1_200);
+        assert!(c.trace.wire_departures.capacity() <= 1_200);
+        assert!(c.trace.latencies_us.capacity() <= 1_200);
+        // And max_trace still caps below the estimate.
+        let c = TraceCollector::new(64, SimTime::ZERO, SimDuration::from_us(100), 1_200);
+        assert!(c.trace.wire_departures.capacity() <= 64);
+    }
+
+    #[test]
+    fn trace_collector_respects_window_and_bound() {
+        let mut c = TraceCollector::new(2, SimTime::from_ms(1), SimDuration::from_us(10), 100);
+        // Before the window: ignored.
+        c.on_send(0, 0, SimTime::from_us(10), SimTime::from_us(12));
+        assert!(c.trace.wire_departures.is_empty());
+        c.on_send(0, 1, SimTime::from_ms(2), SimTime::from_ms(2));
+        c.on_send(0, 2, SimTime::from_ms(3), SimTime::from_ms(3));
+        c.on_send(0, 3, SimTime::from_ms(4), SimTime::from_ms(4));
+        assert_eq!(c.trace.wire_departures.len(), 2, "bounded at max_trace");
+        c.on_latency(0, SimDuration::from_us(50));
+        c.on_latency(0, SimDuration::from_us(60));
+        c.on_latency(0, SimDuration::from_us(70));
+        let trace = c.into_trace();
+        assert_eq!(trace.latencies_us, vec![50.0, 60.0]);
+        assert_eq!(trace.scheduled_gap_us, 10.0);
+    }
+
+    #[test]
+    fn null_collector_is_inert() {
+        let mut c = NullCollector;
+        c.on_send(0, 0, SimTime::ZERO, SimTime::ZERO);
+        c.on_latency(0, SimDuration::ZERO);
+    }
+}

@@ -15,7 +15,10 @@
 //! * [`Engine`] executes a plan either serially or on a self-scheduling
 //!   pool of scoped threads (`std::thread::scope` — no external
 //!   dependencies). Results are reassembled in `(cell, run)` order, so
-//!   serial, parallel and shuffled execution are bit-identical.
+//!   serial, parallel and shuffled execution are bit-identical. The
+//!   scheduling core ([`Engine::execute_jobs`]) is payload-generic:
+//!   single-client cells ([`Engine::execute`]) and fleet topologies
+//!   ([`Engine::execute_topology`]) ride the same pool.
 //! * [`RunCache`] memoizes results keyed by a [`RunSpec`] fingerprint and
 //!   seed. Identical jobs shared across experiments — the paper's
 //!   baseline cells appear in several figures — execute once per process
@@ -28,7 +31,8 @@ use std::sync::{Arc, Mutex};
 
 use tpv_sim::SimRng;
 
-use crate::runtime::{run_once, RunResult, RunSpec};
+use crate::runtime::{run_once, run_topology, RunResult, RunSpec};
+use crate::topology::{FleetResult, TopologySpec};
 
 /// One schedulable unit of work: a single seeded run of one cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,14 +163,10 @@ impl RunCache {
     }
 }
 
-/// Content fingerprint of a [`RunSpec`]: a stable 64-bit digest of the
-/// spec's full debug representation (configs, load, durations — not the
-/// seed).
-///
-/// Two cells fingerprint equal exactly when every knob that can influence
-/// `run_once` is equal, which is what makes the fingerprint a sound cache
-/// key and a sound seed-derivation label.
-pub fn fingerprint(spec: &RunSpec<'_>) -> u64 {
+/// FNV-1a over a value's debug representation — the content digest
+/// behind [`fingerprint`], [`fingerprint_topology`] and per-node stream
+/// keys.
+pub(crate) fn fnv64_debug<T: std::fmt::Debug>(value: &T) -> u64 {
     struct Fnv(u64);
     impl std::fmt::Write for Fnv {
         fn write_str(&mut self, s: &str) -> std::fmt::Result {
@@ -178,8 +178,28 @@ pub fn fingerprint(spec: &RunSpec<'_>) -> u64 {
         }
     }
     let mut h = Fnv(0xcbf2_9ce4_8422_2325);
-    write!(h, "{spec:?}").expect("fingerprint formatting cannot fail");
+    write!(h, "{value:?}").expect("fingerprint formatting cannot fail");
     h.0
+}
+
+/// Content fingerprint of a [`RunSpec`]: a stable 64-bit digest of the
+/// spec's full debug representation (configs, load, durations — not the
+/// seed).
+///
+/// Two cells fingerprint equal exactly when every knob that can influence
+/// `run_once` is equal, which is what makes the fingerprint a sound cache
+/// key and a sound seed-derivation label.
+pub fn fingerprint(spec: &RunSpec<'_>) -> u64 {
+    fnv64_debug(spec)
+}
+
+/// Content fingerprint of a [`TopologySpec`]: the multi-node counterpart
+/// of [`fingerprint`], digesting every node (label, machine, generator,
+/// link, load) plus the shared service/server/window knobs. Used to
+/// content-address fleet cells in a [`JobPlan`], so a fleet cell's seeds
+/// are independent of its position in a study's sweep.
+pub fn fingerprint_topology(spec: &TopologySpec<'_>) -> u64 {
+    fnv64_debug(spec)
 }
 
 /// How an [`Engine`] schedules jobs.
@@ -242,17 +262,24 @@ impl Engine {
         requested.min(jobs.max(1))
     }
 
-    /// Executes every job of `plan`, materialising each cell's spec with
-    /// `spec_of`, and returns `(cell, run, result)` triples sorted in
-    /// `(cell, run)` order — independent of scheduling.
-    pub fn execute<'s, F>(&self, plan: &JobPlan, spec_of: F) -> Vec<(usize, usize, RunResult)>
+    /// Runs an arbitrary per-job function over every job of `plan` —
+    /// serially or on the self-scheduling pool — and returns
+    /// `(cell, run, result)` triples sorted in `(cell, run)` order,
+    /// independent of scheduling.
+    ///
+    /// This is the engine's scheduling core; [`Engine::execute`] (cached
+    /// `RunSpec` jobs) and [`Engine::execute_topology`] (fleet jobs) are
+    /// thin layers over it. Use it directly for custom job payloads that
+    /// should inherit the engine's determinism contract.
+    pub fn execute_jobs<R, F>(&self, plan: &JobPlan, run: F) -> Vec<(usize, usize, R)>
     where
-        F: Fn(usize) -> RunSpec<'s> + Sync,
+        R: Send,
+        F: Fn(&Job) -> R + Sync,
     {
         let jobs = plan.jobs();
         let workers = self.effective_workers(jobs.len());
-        let mut results: Vec<(usize, usize, RunResult)> = if workers <= 1 {
-            jobs.iter().map(|job| (job.cell, job.run, self.execute_job(job, &spec_of))).collect()
+        let mut results: Vec<(usize, usize, R)> = if workers <= 1 {
+            jobs.iter().map(|job| (job.cell, job.run, run(job))).collect()
         } else {
             let out = Mutex::new(Vec::with_capacity(jobs.len()));
             let next = AtomicUsize::new(0);
@@ -263,7 +290,7 @@ impl Engine {
                         // unclaimed job, so long cells cannot idle the pool.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(i) else { break };
-                        let r = self.execute_job(job, &spec_of);
+                        let r = run(job);
                         out.lock().expect("engine results poisoned").push((job.cell, job.run, r));
                     });
                 }
@@ -272,6 +299,30 @@ impl Engine {
         };
         results.sort_by_key(|&(cell, run, _)| (cell, run));
         results
+    }
+
+    /// Executes every job of `plan`, materialising each cell's spec with
+    /// `spec_of`, and returns `(cell, run, result)` triples sorted in
+    /// `(cell, run)` order — independent of scheduling.
+    pub fn execute<'s, F>(&self, plan: &JobPlan, spec_of: F) -> Vec<(usize, usize, RunResult)>
+    where
+        F: Fn(usize) -> RunSpec<'s> + Sync,
+    {
+        self.execute_jobs(plan, |job| self.execute_job(job, &spec_of))
+    }
+
+    /// Executes every job of `plan` as a fleet run, materialising each
+    /// cell's topology with `spec_of`.
+    ///
+    /// Fleet jobs bypass the [`RunCache`]: per-node payloads are large
+    /// relative to an aggregate [`RunResult`] and fleet cells are
+    /// study-specific, so memoization would trade memory for no reuse.
+    /// Determinism is unchanged — seeds travel with the jobs.
+    pub fn execute_topology<'s, F>(&self, plan: &JobPlan, spec_of: F) -> Vec<(usize, usize, FleetResult)>
+    where
+        F: Fn(usize) -> TopologySpec<'s> + Sync,
+    {
+        self.execute_jobs(plan, |job| run_topology(&spec_of(job.cell), job.seed))
     }
 
     /// Executes one traced run (fidelity diagnostics) through the engine.
@@ -421,5 +472,91 @@ mod tests {
 
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn execute_jobs_reassembles_in_cell_run_order() {
+        let plan = JobPlan::new(5, &[1, 2, 3], 4).shuffled(17);
+        // A cheap payload that records which job ran.
+        let serial = Engine::serial().execute_jobs(&plan, |job| job.seed);
+        let parallel = Engine::with_workers(4).execute_jobs(&plan, |job| job.seed);
+        assert_eq!(serial, parallel, "scheduling must not reorder results");
+        let coords: Vec<(usize, usize)> = serial.iter().map(|&(c, r, _)| (c, r)).collect();
+        let mut sorted = coords.clone();
+        sorted.sort_unstable();
+        assert_eq!(coords, sorted, "results must arrive in (cell, run) order");
+    }
+
+    #[test]
+    fn topology_execution_is_parallelism_invariant() {
+        use crate::topology::{uniform_fleet, TopologySpec};
+        use tpv_loadgen::GeneratorSpec;
+        use tpv_net::LinkConfig;
+
+        let service = service();
+        let server = MachineConfig::server_baseline();
+        let nodes = uniform_fleet(
+            "agent",
+            MachineConfig::high_performance(),
+            GeneratorSpec::mutilate(),
+            LinkConfig::cloudlab_lan(),
+            60_000.0,
+            3,
+        );
+        let topo = TopologySpec {
+            service: &service,
+            server: &server,
+            nodes: &nodes,
+            duration: SimDuration::from_ms(25),
+            warmup: SimDuration::from_ms(3),
+        };
+        let plan = JobPlan::new(9, &[fingerprint_topology(&topo)], 3);
+        let serial = Engine::serial().execute_topology(&plan, |_| topo);
+        let parallel = Engine::with_workers(4).execute_topology(&plan, |_| topo);
+        assert_eq!(serial, parallel, "fleet runs must be bit-identical across parallelism");
+        assert_eq!(serial.len(), 3);
+        assert_eq!(serial[0].2.nodes.len(), 3);
+        // Distinct seeds per run: fresh environments per fleet run.
+        assert_ne!(serial[0].2.aggregate, serial[1].2.aggregate);
+    }
+
+    #[test]
+    fn topology_fingerprint_is_content_addressed() {
+        use crate::topology::{uniform_fleet, ClientNode, TopologySpec};
+        use tpv_loadgen::GeneratorSpec;
+        use tpv_net::LinkConfig;
+
+        fn spec<'a>(
+            service: &'a ServiceConfig,
+            server: &'a MachineConfig,
+            nodes: &'a [ClientNode],
+        ) -> TopologySpec<'a> {
+            TopologySpec {
+                service,
+                server,
+                nodes,
+                duration: SimDuration::from_ms(20),
+                warmup: SimDuration::from_ms(2),
+            }
+        }
+
+        let svc = service();
+        let server = MachineConfig::server_baseline();
+        let mk = |count: usize, qps: f64| {
+            uniform_fleet(
+                "n",
+                MachineConfig::high_performance(),
+                GeneratorSpec::mutilate(),
+                LinkConfig::cloudlab_lan(),
+                qps,
+                count,
+            )
+        };
+        let a = mk(2, 50_000.0);
+        let b = mk(2, 50_000.0);
+        let c = mk(4, 50_000.0);
+        let fa = fingerprint_topology(&spec(&svc, &server, &a));
+        assert_eq!(fa, fingerprint_topology(&spec(&svc, &server, &b)));
+        assert_ne!(fa, fingerprint_topology(&spec(&svc, &server, &c)));
     }
 }

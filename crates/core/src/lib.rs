@@ -7,7 +7,9 @@
 //!
 //! * What do the end-to-end measurements look like? ([`runtime`],
 //!   [`experiment`], executed deterministically — parallel, cached or
-//!   serial — by [`engine`])
+//!   serial — by [`engine`]; [`topology`] generalizes the testbed to
+//!   heterogeneous client *fleets* with per-node breakdowns via
+//!   [`collect`])
 //! * Do two client configurations lead to **different conclusions** about
 //!   the same server feature? ([`analysis`], Findings 1–2)
 //! * How many repetitions does each configuration need, and how long will
@@ -22,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod collect;
 pub mod engine;
 pub mod experiment;
 pub mod fidelity;
@@ -30,8 +33,11 @@ pub mod report;
 pub mod runtime;
 pub mod scenarios;
 pub mod survey;
+pub mod topology;
 
 pub use analysis::{Comparison, Summary, Verdict};
+pub use collect::{Collector, NodeStats, NullCollector, PerNodeCollector, TraceCollector};
 pub use engine::{CacheStats, Engine, Job, JobPlan, RunCache};
 pub use experiment::{Benchmark, Experiment, ExperimentResults, ServerScenario};
-pub use runtime::{run_once, run_traced, RunResult, RunSpec, RunTrace};
+pub use runtime::{run_once, run_topology, run_traced, RunResult, RunSpec, RunTrace};
+pub use topology::{uniform_fleet, ClientNode, FleetResult, NodeResult, TopologySpec};

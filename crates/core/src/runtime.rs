@@ -1,17 +1,40 @@
-//! The composed testbed runtime: one `run_once` call = one paper "run".
+//! The composed testbed runtime: a topology kernel over the deterministic
+//! event queue.
 //!
-//! Wires the generator ([`tpv_loadgen::ClientSide`]), the network
-//! ([`tpv_net`]) and the service ([`tpv_services::ServiceInstance`])
-//! through a deterministic event loop. Each run draws a fresh
-//! [`tpv_hw::RunEnvironment`] for the client and the server — the paper's
-//! "in between runs we reset the environment" — so per-run samples are
-//! iid by construction.
+//! One [`run_once`] call = one paper "run" of the trivial 1×1 topology;
+//! [`run_topology`] executes an arbitrary [`TopologySpec`] — N client
+//! nodes with heterogeneous hardware configurations, per-pair links, and
+//! a shared server tier. The kernel wires each node's generator
+//! ([`tpv_loadgen::ClientSide`]) and link ([`tpv_net::Link`]) to the
+//! service ([`tpv_services::ServiceInstance`]) through one deterministic
+//! event loop:
+//!
+//! * events are node-indexed and carry only a `u32` key into a
+//!   [`tpv_sim::Slab`] of in-flight request records — per-request state
+//!   lives in the arena, not in every event variant;
+//! * each run draws fresh [`tpv_hw::RunEnvironment`]s for every machine —
+//!   the paper's "in between runs we reset the environment" — so per-run
+//!   samples are iid by construction;
+//! * per-node randomness is **content-addressed** (`node_stream_keys` in
+//!   [`crate::topology`]): permuting the fleet declaration cannot change
+//!   any node's results;
+//! * metric collection is pluggable through [`Collector`] — the
+//!   aggregate [`RunResult`] is always produced, per-node breakdowns and
+//!   fidelity traces hook in without touching the hot loop.
+//!
+//! The single-node topology reproduces the historical monolithic loop's
+//! RNG stream layout exactly, so `run_once` is **bit-identical** to the
+//! pre-topology runtime (pinned by `tests/golden_runtime.rs`).
 
 use tpv_hw::MachineConfig;
-use tpv_loadgen::{ArrivalProcess, ClientSide, GeneratorSpec, LoopMode};
+use tpv_loadgen::{ArrivalProcess, ClientSide, GeneratorSpec, LoopMode, PointOfMeasurement};
 use tpv_net::{Connection, Link, LinkConfig};
-use tpv_services::{RequestDescriptor, ServiceConfig, ServiceInstance};
-use tpv_sim::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime};
+use tpv_services::request::StageCtx;
+use tpv_services::{NodeConn, RequestDescriptor, ServiceConfig, ServiceInstance};
+use tpv_sim::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime, Slab};
+
+use crate::collect::{Collector, NodeStats, NullCollector, PerNodeCollector, TraceCollector};
+use crate::topology::{node_stream_keys, ClientNode, FleetResult, NodeResult, TopologySpec};
 
 /// Everything needed to execute one run.
 #[derive(Debug, Clone, Copy)]
@@ -82,29 +105,72 @@ impl RunResult {
     pub fn p99_us(&self) -> f64 {
         self.p99.as_us()
     }
+
+    /// Assembles a result from a latency histogram plus the client-side
+    /// counters — the one place the histogram-derived metrics and the
+    /// zero-send guards are defined, shared by the kernel's aggregate
+    /// epilogue and [`crate::collect::PerNodeCollector`]'s per-node
+    /// breakdowns so the two cannot drift apart.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_histogram(
+        hist: &LatencyHistogram,
+        measured: SimDuration,
+        target_qps: f64,
+        sends: tpv_loadgen::SendStats,
+        wakes: [u64; 4],
+        energy_core_secs: f64,
+        truncated_inflight: u64,
+    ) -> RunResult {
+        RunResult {
+            avg: hist.mean(),
+            p50: hist.median(),
+            p99: hist.percentile(99.0),
+            max: hist.max(),
+            std_dev: hist.std_dev(),
+            samples: hist.count(),
+            achieved_qps: hist.count() as f64 / measured.as_secs(),
+            target_qps,
+            late_send_fraction: if sends.total_sends == 0 {
+                0.0
+            } else {
+                sends.late_sends as f64 / sends.total_sends as f64
+            },
+            mean_send_slip: if sends.total_sends == 0 {
+                SimDuration::ZERO
+            } else {
+                sends.total_slip / sends.total_sends
+            },
+            client_wakes: wakes,
+            client_energy_core_secs: energy_core_secs,
+            truncated_inflight,
+        }
+    }
 }
 
+/// A node-indexed simulation event. Per-request payloads live in the
+/// in-flight [`Slab`]; events carry only the key, so the event heap stays
+/// small and cache-friendly.
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    SendDue {
-        conn: u32,
-    },
-    ServerArrival {
-        conn: u32,
-        desc: RequestDescriptor,
-        stamp: SimTime,
-    },
-    ServiceStage {
-        conn: u32,
-        desc: RequestDescriptor,
-        stamp: SimTime,
-        stage: u8,
-        ctx: tpv_services::request::StageCtx,
-    },
-    ClientDelivery {
-        conn: u32,
-        stamp: SimTime,
-    },
+    /// A send is due on `conn` of `node`.
+    SendDue { node: u16, conn: u32 },
+    /// Request `req` reached the server NIC.
+    ServerArrival { req: u32 },
+    /// Request `req` resumes its next service stage.
+    ServiceStage { req: u32 },
+    /// Request `req`'s response reached its client NIC.
+    ClientDelivery { req: u32 },
+}
+
+/// Arena record of one in-flight request.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    node: u16,
+    conn: u32,
+    desc: RequestDescriptor,
+    stamp: SimTime,
+    stage: u8,
+    ctx: StageCtx,
 }
 
 /// A bounded trace of one run, for workload-fidelity diagnostics
@@ -112,7 +178,7 @@ enum Event {
 #[derive(Debug, Clone, Default)]
 pub struct RunTrace {
     /// `(connection, wire departure time)` of traced sends, in event
-    /// order.
+    /// order. Connections are node-local ids.
     pub wire_departures: Vec<(u32, SimTime)>,
     /// Measured latencies (µs) in completion order.
     pub latencies_us: Vec<f64>,
@@ -120,15 +186,82 @@ pub struct RunTrace {
     pub scheduled_gap_us: f64,
 }
 
+/// Live per-node state of the kernel: the node's generator, link,
+/// connections, and its content-addressed RNG streams.
+struct NodeState {
+    client: ClientSide,
+    link: Link,
+    conns: Vec<Connection>,
+    arrivals: ArrivalProcess,
+    arrival_rng: SimRng,
+    client_rng: SimRng,
+    net_rng: SimRng,
+    /// `None` in the single-node legacy stream layout: descriptors then
+    /// draw from the shared service stream, exactly as the monolithic
+    /// loop did.
+    desc_rng: Option<SimRng>,
+    /// Content identity for admission keying (0 = single-node layout).
+    node_key: u64,
+    pom: PointOfMeasurement,
+    loop_mode: LoopMode,
+    think_time: SimDuration,
+    qps: f64,
+    /// In-window requests sent but not yet delivered.
+    inflight_measured: u64,
+}
+
+impl NodeState {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        node: &ClientNode,
+        node_key: u64,
+        client_env: &tpv_hw::RunEnvironment,
+        arrival_rng: SimRng,
+        client_rng: SimRng,
+        mut net_rng: SimRng,
+        desc_rng: Option<SimRng>,
+    ) -> Self {
+        let n_conns = node.generator.connections.max(1) as usize;
+        let per_conn_gap = SimDuration::from_secs_f64(n_conns as f64 / node.qps);
+        let link = Link::new(&node.link, &mut net_rng);
+        NodeState {
+            client: ClientSide::new(node.generator, &node.machine, client_env),
+            link,
+            conns: (0..n_conns).map(Connection::new).collect(),
+            arrivals: ArrivalProcess::new(node.generator.arrival, per_conn_gap),
+            arrival_rng,
+            client_rng,
+            net_rng,
+            desc_rng,
+            node_key,
+            pom: node.generator.pom,
+            loop_mode: node.generator.loop_mode,
+            think_time: node.generator.think_time,
+            qps: node.qps,
+            inflight_measured: 0,
+        }
+    }
+}
+
 /// Executes one run of the testbed with the given seed.
 ///
 /// Deterministic: the same `(spec, seed)` produces bit-identical results.
+/// Internally this is the trivial 1×1 topology through the kernel.
 ///
 /// # Panics
 ///
 /// Panics if `qps` is not positive or `warmup >= duration`.
 pub fn run_once(spec: &RunSpec<'_>, seed: u64) -> RunResult {
-    run_traced(spec, seed, 0).0
+    assert!(spec.qps > 0.0, "offered load must be positive, got {}", spec.qps);
+    let nodes = [spec.client_node()];
+    let topo = TopologySpec {
+        service: spec.service,
+        server: spec.server,
+        nodes: &nodes,
+        duration: spec.duration,
+        warmup: spec.warmup,
+    };
+    run_collected(&topo, seed, &mut NullCollector)
 }
 
 /// Like [`run_once`], additionally collecting up to `max_trace` traced
@@ -140,138 +273,266 @@ pub fn run_once(spec: &RunSpec<'_>, seed: u64) -> RunResult {
 pub fn run_traced(spec: &RunSpec<'_>, seed: u64, max_trace: usize) -> (RunResult, RunTrace) {
     assert!(spec.qps > 0.0, "offered load must be positive, got {}", spec.qps);
     assert!(spec.warmup < spec.duration, "warmup must be shorter than the run");
+    let nodes = [spec.client_node()];
+    let topo = TopologySpec {
+        service: spec.service,
+        server: spec.server,
+        nodes: &nodes,
+        duration: spec.duration,
+        warmup: spec.warmup,
+    };
+    let n_conns = spec.generator.connections.max(1) as usize;
+    let per_conn_gap = SimDuration::from_secs_f64(n_conns as f64 / spec.qps);
+    // Expected sends bound the trace pre-allocation alongside max_trace.
+    let expected_sends = (spec.qps * spec.duration.as_secs() * 1.25) as usize + 64;
+    let mut collector =
+        TraceCollector::new(max_trace, SimTime::ZERO + spec.warmup, per_conn_gap, expected_sends);
+    let result = run_collected(&topo, seed, &mut collector);
+    (result, collector.into_trace())
+}
+
+/// Executes one run of a topology, returning the aggregate plus per-node
+/// breakdowns.
+///
+/// Deterministic: the same `(spec, seed)` produces bit-identical results,
+/// and per-node results are invariant under permutation of the node
+/// declaration order (content-addressed per-node seeds).
+///
+/// # Panics
+///
+/// Panics if the topology has no nodes, any node's `qps` is not positive,
+/// or `warmup >= duration`.
+pub fn run_topology(topo: &TopologySpec<'_>, seed: u64) -> FleetResult {
+    let mut collector = PerNodeCollector::new(topo.nodes.len());
+    let aggregate = run_collected(topo, seed, &mut collector);
+    let nodes = topo
+        .nodes
+        .iter()
+        .zip(collector.into_results())
+        .map(|(node, result)| NodeResult { label: node.label.clone(), result })
+        .collect();
+    FleetResult { aggregate, nodes }
+}
+
+/// The topology kernel: executes one run, feeding observations to
+/// `collector`. This is the single hot loop behind [`run_once`],
+/// [`run_traced`] and [`run_topology`].
+///
+/// # Panics
+///
+/// Panics if the topology has no nodes, any node's `qps` is not positive,
+/// or `warmup >= duration`.
+pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector: &mut C) -> RunResult {
+    assert!(!topo.nodes.is_empty(), "topology needs at least one client node");
+    assert!(topo.nodes.len() <= u16::MAX as usize, "topology exceeds {} nodes", u16::MAX);
+    for node in topo.nodes {
+        assert!(node.qps > 0.0, "offered load must be positive, got {}", node.qps);
+    }
+    assert!(topo.warmup < topo.duration, "warmup must be shorter than the run");
 
     let master = SimRng::seed_from_u64(seed);
-    let mut arrival_rng = master.fork(1);
-    let mut client_rng = master.fork(2);
+    let single = topo.nodes.len() == 1;
     let mut service_rng = master.fork(3);
-    let mut net_rng = master.fork(4);
     let mut env_rng = master.fork(5);
 
     // Reset the environment: fresh per-run hardware state (§III iid).
-    let client_env = spec.client.draw_environment(&mut env_rng);
-    let server_env = spec.server.draw_environment(&mut env_rng);
-
-    let mut client = ClientSide::new(*spec.generator, spec.client, &client_env);
+    //
+    // The single-node layout replays the historical stream order exactly
+    // (client env then server env off one stream, descriptors off the
+    // service stream), keeping `run_once` bit-identical to the
+    // pre-topology runtime. Fleets give every node its own streams forked
+    // under its content key.
+    let mut states: Vec<NodeState> = Vec::with_capacity(topo.nodes.len());
+    let server_env;
+    if single {
+        let node = &topo.nodes[0];
+        let client_env = node.machine.draw_environment(&mut env_rng);
+        server_env = topo.server.draw_environment(&mut env_rng);
+        states.push(NodeState::new(
+            node,
+            0,
+            &client_env,
+            master.fork(1),
+            master.fork(2),
+            master.fork(4),
+            None,
+        ));
+    } else {
+        server_env = topo.server.draw_environment(&mut env_rng);
+        for (node, key) in topo.nodes.iter().zip(node_stream_keys(topo.nodes)) {
+            let node_master = master.fork(key);
+            let mut node_env_rng = node_master.fork(5);
+            let client_env = node.machine.draw_environment(&mut node_env_rng);
+            states.push(NodeState::new(
+                node,
+                key,
+                &client_env,
+                node_master.fork(1),
+                node_master.fork(2),
+                node_master.fork(4),
+                Some(node_master.fork(3)),
+            ));
+        }
+    }
     let mut service =
-        ServiceInstance::new(spec.service, spec.server, &server_env, spec.duration, &mut service_rng);
-    let link = Link::new(spec.link, &mut net_rng);
+        ServiceInstance::new(topo.service, topo.server, &server_env, topo.duration, &mut service_rng);
 
-    let n_conns = spec.generator.connections.max(1) as usize;
-    let mut conns: Vec<Connection> = (0..n_conns).map(Connection::new).collect();
-    let per_conn_gap = SimDuration::from_secs_f64(n_conns as f64 / spec.qps);
-    let arrivals = ArrivalProcess::new(spec.generator.arrival, per_conn_gap);
+    let total_conns: usize = states.iter().map(|s| s.conns.len()).sum();
+    let mut queue: EventQueue<Event> = EventQueue::with_capacity(4 * total_conns);
+    let mut requests: Slab<InFlight> = Slab::with_capacity(2 * total_conns);
 
-    let mut queue: EventQueue<Event> = EventQueue::with_capacity(4 * n_conns);
-    // Stagger connection start phases uniformly across one mean gap.
-    for conn in 0..n_conns {
-        let phase = per_conn_gap.scale(arrival_rng.next_f64());
-        queue.schedule(SimTime::ZERO + phase, Event::SendDue { conn: conn as u32 });
+    // Stagger every connection's start phase uniformly across one of its
+    // node's mean gaps.
+    for (node, st) in states.iter_mut().enumerate() {
+        for conn in 0..st.conns.len() {
+            let phase = st.arrivals.mean_gap().scale(st.arrival_rng.next_f64());
+            queue.schedule(SimTime::ZERO + phase, Event::SendDue { node: node as u16, conn: conn as u32 });
+        }
     }
 
-    let window_start = SimTime::ZERO + spec.warmup;
-    let window_end = SimTime::ZERO + spec.duration;
+    let window_start = SimTime::ZERO + topo.warmup;
+    let window_end = SimTime::ZERO + topo.duration;
     // Runs drain in-flight requests after the send window closes, with a
     // hard horizon to bound pathological backlogs.
-    let horizon = window_end + spec.duration + SimDuration::from_secs(5);
+    let horizon = window_end + topo.duration + SimDuration::from_secs(5);
 
     let mut hist = LatencyHistogram::new();
-    // In-window requests sent but not yet delivered: whatever is left
-    // when the loop ends was cut off by the drain horizon and is missing
-    // from the histogram (right-censored tail).
-    let mut inflight_measured: u64 = 0;
-    let pom = spec.generator.pom;
-    let mut trace = RunTrace {
-        wire_departures: Vec::with_capacity(max_trace.min(1 << 20)),
-        latencies_us: Vec::with_capacity(max_trace.min(1 << 20)),
-        scheduled_gap_us: per_conn_gap.as_us(),
-    };
 
     while let Some((now, event)) = queue.pop() {
         if now > horizon {
             break;
         }
         match event {
-            Event::SendDue { conn } => {
-                let desc = service.next_descriptor(&mut service_rng);
-                let plan = client.plan_send(conn as usize, now, &mut client_rng);
-                let raw = plan.wire + link.one_way(&mut net_rng);
-                let arrival = conns[conn as usize].deliver_to_server(raw);
-                if trace.wire_departures.len() < max_trace && now >= window_start {
-                    trace.wire_departures.push((conn, plan.wire));
-                }
+            Event::SendDue { node, conn } => {
+                let st = &mut states[node as usize];
+                let desc = match st.desc_rng.as_mut() {
+                    Some(rng) => service.next_descriptor(rng),
+                    None => service.next_descriptor(&mut service_rng),
+                };
+                let plan = st.client.plan_send(conn as usize, now, &mut st.client_rng);
+                let raw = plan.wire + st.link.one_way(&mut st.net_rng);
+                let arrival = st.conns[conn as usize].deliver_to_server(raw);
+                collector.on_send(node as usize, conn, now, plan.wire);
                 if plan.stamp >= window_start && plan.stamp < window_end {
-                    inflight_measured += 1;
+                    st.inflight_measured += 1;
                 }
-                queue.schedule(arrival, Event::ServerArrival { conn, desc, stamp: plan.stamp });
-                if spec.generator.loop_mode == LoopMode::Open {
-                    let next = now + arrivals.next_gap(&mut arrival_rng);
+                let req = requests.insert(InFlight {
+                    node,
+                    conn,
+                    desc,
+                    stamp: plan.stamp,
+                    stage: 0,
+                    ctx: StageCtx::default(),
+                });
+                queue.schedule(arrival, Event::ServerArrival { req });
+                if st.loop_mode == LoopMode::Open {
+                    let next = now + st.arrivals.next_gap(&mut st.arrival_rng);
                     if next < window_end {
-                        queue.schedule(next, Event::SendDue { conn });
+                        queue.schedule(next, Event::SendDue { node, conn });
                     }
                 }
             }
-            Event::ServerArrival { conn, desc, stamp } => {
-                match service.admit(conn as usize, &desc, now, &mut service_rng) {
+            Event::ServerArrival { req } => {
+                let r = *requests.get(req);
+                let key = NodeConn { node_key: states[r.node as usize].node_key, conn: r.conn };
+                match service.admit(key.affinity_key(), &r.desc, now, &mut service_rng) {
                     tpv_services::request::StageOutcome::Done(done) => {
-                        let raw = done.response_wire + link.one_way(&mut net_rng);
-                        let nic = link.coalesce(conns[conn as usize].deliver_to_client(raw));
-                        queue.schedule(nic, Event::ClientDelivery { conn, stamp });
+                        let st = &mut states[r.node as usize];
+                        let raw = done.response_wire + st.link.one_way(&mut st.net_rng);
+                        let nic = st.link.coalesce(st.conns[r.conn as usize].deliver_to_client(raw));
+                        queue.schedule(nic, Event::ClientDelivery { req });
                     }
                     tpv_services::request::StageOutcome::Continue { at, stage, ctx } => {
-                        queue.schedule(at, Event::ServiceStage { conn, desc, stamp, stage, ctx });
+                        let slot = requests.get_mut(req);
+                        slot.stage = stage;
+                        slot.ctx = ctx;
+                        queue.schedule(at, Event::ServiceStage { req });
                     }
                 }
             }
-            Event::ServiceStage { conn, desc, stamp, stage, ctx } => {
-                match service.resume(conn as usize, &desc, stage, ctx, now, &mut service_rng) {
+            Event::ServiceStage { req } => {
+                let r = *requests.get(req);
+                let key = NodeConn { node_key: states[r.node as usize].node_key, conn: r.conn };
+                match service.resume(key.affinity_key(), &r.desc, r.stage, r.ctx, now, &mut service_rng) {
                     tpv_services::request::StageOutcome::Done(done) => {
-                        let raw = done.response_wire + link.one_way(&mut net_rng);
-                        let nic = link.coalesce(conns[conn as usize].deliver_to_client(raw));
-                        queue.schedule(nic, Event::ClientDelivery { conn, stamp });
+                        let st = &mut states[r.node as usize];
+                        let raw = done.response_wire + st.link.one_way(&mut st.net_rng);
+                        let nic = st.link.coalesce(st.conns[r.conn as usize].deliver_to_client(raw));
+                        queue.schedule(nic, Event::ClientDelivery { req });
                     }
                     tpv_services::request::StageOutcome::Continue { at, stage, ctx } => {
-                        queue.schedule(at, Event::ServiceStage { conn, desc, stamp, stage, ctx });
+                        let slot = requests.get_mut(req);
+                        slot.stage = stage;
+                        slot.ctx = ctx;
+                        queue.schedule(at, Event::ServiceStage { req });
                     }
                 }
             }
-            Event::ClientDelivery { conn, stamp } => {
-                let recv = client.receive(conn as usize, now, &mut client_rng);
-                let measured = recv.stamp(pom).since(stamp);
-                if stamp >= window_start && stamp < window_end {
-                    inflight_measured -= 1;
+            Event::ClientDelivery { req } => {
+                let r = requests.remove(req);
+                let st = &mut states[r.node as usize];
+                let recv = st.client.receive(r.conn as usize, now, &mut st.client_rng);
+                let measured = recv.stamp(st.pom).since(r.stamp);
+                if r.stamp >= window_start && r.stamp < window_end {
+                    st.inflight_measured -= 1;
                     hist.record(measured);
-                    if trace.latencies_us.len() < max_trace {
-                        trace.latencies_us.push(measured.as_us());
-                    }
+                    collector.on_latency(r.node as usize, measured);
                 }
-                if spec.generator.loop_mode == LoopMode::Closed {
-                    let next = recv.app + spec.generator.think_time;
+                if st.loop_mode == LoopMode::Closed {
+                    let next = recv.app + st.think_time;
                     if next < window_end {
-                        queue.schedule(next, Event::SendDue { conn });
+                        queue.schedule(next, Event::SendDue { node: r.node, conn: r.conn });
                     }
                 }
             }
         }
     }
 
-    let measured_secs = (spec.duration - spec.warmup).as_secs();
-    let result = RunResult {
-        avg: hist.mean(),
-        p50: hist.median(),
-        p99: hist.percentile(99.0),
-        max: hist.max(),
-        std_dev: hist.std_dev(),
-        samples: hist.count(),
-        achieved_qps: hist.count() as f64 / measured_secs,
-        target_qps: spec.qps,
-        late_send_fraction: client.late_send_fraction(),
-        mean_send_slip: client.mean_send_slip(),
-        client_wakes: client.wakes_by_state(),
-        client_energy_core_secs: client.energy_core_secs(window_end),
-        truncated_inflight: inflight_measured,
-    };
-    (result, trace)
+    // Whatever is left in flight was cut off by the drain horizon and is
+    // missing from the histogram (right-censored tail).
+    let measured_dur = topo.duration - topo.warmup;
+    let mut wakes = [0u64; 4];
+    let mut energies: Vec<f64> = Vec::with_capacity(states.len());
+    let mut late_sends = 0u64;
+    let mut total_sends = 0u64;
+    let mut total_slip = SimDuration::ZERO;
+    let mut truncated = 0u64;
+    for (node, st) in states.iter().enumerate() {
+        let sends = st.client.send_stats();
+        let node_wakes = st.client.wakes_by_state();
+        let node_energy = st.client.energy_core_secs(window_end);
+        for (acc, w) in wakes.iter_mut().zip(node_wakes) {
+            *acc += w;
+        }
+        energies.push(node_energy);
+        late_sends += sends.late_sends;
+        total_sends += sends.total_sends;
+        total_slip += sends.total_slip;
+        truncated += st.inflight_measured;
+        collector.on_node_done(
+            node,
+            &NodeStats {
+                wakes: node_wakes,
+                energy_core_secs: node_energy,
+                sends,
+                truncated_inflight: st.inflight_measured,
+                target_qps: st.qps,
+                measured: measured_dur,
+            },
+        );
+    }
+
+    RunResult::from_histogram(
+        &hist,
+        measured_dur,
+        topo.total_qps(),
+        tpv_loadgen::SendStats { late_sends, total_sends, total_slip },
+        wakes,
+        // Order-independent: permuting the fleet declaration must not
+        // perturb the aggregate through float non-associativity.
+        crate::topology::stable_sum(energies),
+        truncated,
+    )
 }
 
 #[cfg(test)]
@@ -432,5 +693,103 @@ mod tests {
         let mut spec = base_spec(&service, &client, &server, &generator, &link, 1_000.0);
         spec.warmup = spec.duration;
         run_once(&spec, 0);
+    }
+
+    #[test]
+    fn one_by_one_topology_equals_run_once() {
+        let service = kv_service();
+        let client = MachineConfig::low_power();
+        let server = MachineConfig::server_baseline();
+        let generator = GeneratorSpec::mutilate();
+        let link = LinkConfig::cloudlab_lan();
+        let spec = base_spec(&service, &client, &server, &generator, &link, 80_000.0);
+        let solo = run_once(&spec, 11);
+        let nodes = [spec.client_node()];
+        let topo = TopologySpec {
+            service: &service,
+            server: &server,
+            nodes: &nodes,
+            duration: spec.duration,
+            warmup: spec.warmup,
+        };
+        let fleet = run_topology(&topo, 11);
+        assert_eq!(fleet.aggregate, solo, "1×1 topology must match run_once bit for bit");
+        assert_eq!(fleet.nodes.len(), 1);
+        // The single node's breakdown carries the same distribution.
+        assert_eq!(fleet.nodes[0].result.p99, solo.p99);
+        assert_eq!(fleet.nodes[0].result.samples, solo.samples);
+        assert_eq!(fleet.nodes[0].result.client_wakes, solo.client_wakes);
+    }
+
+    #[test]
+    fn fleet_aggregate_pools_every_node() {
+        let service = kv_service();
+        let server = MachineConfig::server_baseline();
+        let nodes = crate::topology::uniform_fleet(
+            "agent",
+            MachineConfig::high_performance(),
+            GeneratorSpec::mutilate(),
+            LinkConfig::cloudlab_lan(),
+            100_000.0,
+            4,
+        );
+        let topo = TopologySpec {
+            service: &service,
+            server: &server,
+            nodes: &nodes,
+            duration: SimDuration::from_ms(60),
+            warmup: SimDuration::from_ms(10),
+        };
+        let fleet = run_topology(&topo, 21);
+        assert_eq!(fleet.nodes.len(), 4);
+        let pooled: u64 = fleet.nodes.iter().map(|n| n.result.samples).sum();
+        assert_eq!(fleet.aggregate.samples, pooled, "aggregate pools per-node samples");
+        assert_eq!(fleet.aggregate.target_qps, 100_000.0);
+        let ratio = fleet.aggregate.achieved_qps / fleet.aggregate.target_qps;
+        assert!((0.85..1.15).contains(&ratio), "achieved/target {ratio}");
+        // Every node contributed meaningfully.
+        for n in &fleet.nodes {
+            assert!(n.result.samples > 500, "{} starved: {}", n.label, n.result.samples);
+        }
+    }
+
+    #[test]
+    fn misconfigured_minority_skews_the_aggregate_tail() {
+        // The fleet-scale version of Finding 1: one LP node in an
+        // otherwise-HP fleet inflates the pooled p99.
+        let service = kv_service();
+        let server = MachineConfig::server_baseline();
+        let gen = GeneratorSpec::mutilate().with_connections(40);
+        let link = LinkConfig::cloudlab_lan();
+        let all_good: Vec<ClientNode> = (0..4)
+            .map(|i| {
+                ClientNode::new(format!("good{i}"), MachineConfig::high_performance(), gen, link, 25_000.0)
+            })
+            .collect();
+        let mut one_bad = all_good.clone();
+        one_bad[0] = ClientNode::new("bad0", MachineConfig::low_power(), gen, link, 25_000.0);
+        let duration = SimDuration::from_ms(60);
+        let warmup = SimDuration::from_ms(10);
+        let clean = run_topology(
+            &TopologySpec { service: &service, server: &server, nodes: &all_good, duration, warmup },
+            5,
+        );
+        let skewed = run_topology(
+            &TopologySpec { service: &service, server: &server, nodes: &one_bad, duration, warmup },
+            5,
+        );
+        assert!(
+            skewed.aggregate.p99 > clean.aggregate.p99,
+            "one bad client must inflate the pooled tail: {} !> {}",
+            skewed.aggregate.p99,
+            clean.aggregate.p99
+        );
+        // The breakdown points at the culprit.
+        let bad = skewed.node("bad0").unwrap();
+        let good = skewed.node("good1").unwrap();
+        assert!(bad.result.avg > good.result.avg);
+        assert!(bad.result.mean_send_slip > good.result.mean_send_slip);
+        assert_eq!(skewed.worst_node_p99(), skewed.nodes.iter().map(|n| n.result.p99).max().unwrap());
+        assert!(skewed.worst_node_p99() >= skewed.best_node_p99());
     }
 }

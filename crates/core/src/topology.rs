@@ -1,0 +1,318 @@
+//! Composable simulation topologies: N client nodes × per-pair links × a
+//! server tier.
+//!
+//! The paper's testbed is one client machine, one link, one server — the
+//! trivial 1×1 topology. Real deployments run *fleets* of load-generator
+//! agents whose hardware configurations are not identical (ConfigTron's
+//! heterogeneous fleets, mutilate's multi-agent deployments), which is
+//! exactly where client-side configuration skew becomes a fleet-level
+//! data-quality problem. A [`TopologySpec`] describes such a deployment:
+//!
+//! * each [`ClientNode`] is one load-generating machine with its own
+//!   hardware configuration, generator deployment, offered load and
+//!   **per-pair link** to the server;
+//! * the server tier is shared — every node's requests land on the same
+//!   [`tpv_services::ServiceInstance`] worker queues, keyed by
+//!   [`tpv_services::NodeConn`] so connection spaces stay disjoint;
+//! * randomness is **content-addressed per node** (see
+//!   `node_stream_keys`): a node's environment draws, arrival schedule
+//!   and link jitter depend on what the node *is*, not where it appears
+//!   in the declaration — permuting the fleet cannot change any node's
+//!   results.
+//!
+//! [`crate::runtime::run_topology`] executes a topology and returns a
+//! [`FleetResult`]: the familiar aggregate [`RunResult`] plus one
+//! [`NodeResult`] per client node.
+
+use tpv_hw::MachineConfig;
+use tpv_loadgen::GeneratorSpec;
+use tpv_net::LinkConfig;
+use tpv_services::ServiceConfig;
+use tpv_sim::SimDuration;
+
+use crate::runtime::{RunResult, RunSpec};
+
+/// One load-generating client machine of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientNode {
+    /// Name used in per-node reports ("agent0", "bad1", …). Participates
+    /// in the node's content identity: identically-configured replicas
+    /// with distinct labels draw independent randomness.
+    pub label: String,
+    /// The node's hardware configuration — the paper's variable under
+    /// study, now settable per fleet member.
+    pub machine: MachineConfig,
+    /// The generator deployment running on this node.
+    pub generator: GeneratorSpec,
+    /// The network path from this node to the server (per-pair: nodes on
+    /// another rack model a longer path via
+    /// [`tpv_net::LinkConfig::cross_rack`]).
+    pub link: LinkConfig,
+    /// Offered load from this node, in queries per second.
+    pub qps: f64,
+}
+
+impl ClientNode {
+    /// A node with every knob explicit.
+    pub fn new(
+        label: impl Into<String>,
+        machine: MachineConfig,
+        generator: GeneratorSpec,
+        link: LinkConfig,
+        qps: f64,
+    ) -> Self {
+        ClientNode { label: label.into(), machine, generator, link, qps }
+    }
+
+    /// Stable content hash of this node (label, machine, generator, link
+    /// and load) — the basis of its content-addressed randomness.
+    pub fn content_key(&self) -> u64 {
+        crate::engine::fnv64_debug(self)
+    }
+}
+
+/// Splits one deployment into `count` client nodes that together
+/// preserve the original's total connection count and offered load:
+/// connections divide as evenly as possible (the first
+/// `connections % count` nodes carry one extra) and each node's load is
+/// proportional to its connection share, so the per-connection request
+/// rate — and therefore the workload being split — is unchanged. Labels
+/// are `prefix0..prefixN`.
+///
+/// Degenerate splits (`count > connections`) clamp every node to one
+/// connection, *growing* the total — at that point the fleet is a
+/// different deployment, not a split of the original.
+///
+/// # Panics
+///
+/// Panics if `count` is zero.
+pub fn uniform_fleet(
+    prefix: &str,
+    machine: MachineConfig,
+    generator: GeneratorSpec,
+    link: LinkConfig,
+    total_qps: f64,
+    count: usize,
+) -> Vec<ClientNode> {
+    assert!(count > 0, "a fleet needs at least one node");
+    let conns = generator.connections.max(1);
+    let base = conns / count as u32;
+    let extra = (conns % count as u32) as usize;
+    let total: f64 = (0..count).map(|i| base + u32::from(i < extra)).map(|c| c.max(1) as f64).sum();
+    (0..count)
+        .map(|i| {
+            let node_conns = (base + u32::from(i < extra)).max(1);
+            ClientNode::new(
+                format!("{prefix}{i}"),
+                machine,
+                generator.with_connections(node_conns),
+                link,
+                total_qps * node_conns as f64 / total,
+            )
+        })
+        .collect()
+}
+
+/// Everything needed to execute one run of a topology: the shared server
+/// tier plus any number of client nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct TopologySpec<'a> {
+    /// The benchmark service and its interference profile.
+    pub service: &'a ServiceConfig,
+    /// Server machine configuration (the shared tier).
+    pub server: &'a MachineConfig,
+    /// The client fleet. One node is the paper's testbed; the order of
+    /// declaration cannot influence any node's results.
+    pub nodes: &'a [ClientNode],
+    /// Measured run length.
+    pub duration: SimDuration,
+    /// Leading portion of the run excluded from measurement.
+    pub warmup: SimDuration,
+}
+
+/// Order-independent f64 accumulation: float addition is not
+/// associative, so naively summing per-node values in declaration order
+/// would leak the fleet's declaration order into aggregate results.
+/// Summing in sorted order makes the total a function of the value
+/// *multiset*. A single value sums to itself bit-exactly.
+pub(crate) fn stable_sum(mut values: Vec<f64>) -> f64 {
+    values.sort_by(f64::total_cmp);
+    values.iter().sum()
+}
+
+impl TopologySpec<'_> {
+    /// Total offered load across the fleet (order-independent).
+    pub fn total_qps(&self) -> f64 {
+        stable_sum(self.nodes.iter().map(|n| n.qps).collect())
+    }
+
+    /// Total connections across the fleet.
+    pub fn total_connections(&self) -> u32 {
+        self.nodes.iter().map(|n| n.generator.connections.max(1)).sum()
+    }
+}
+
+impl RunSpec<'_> {
+    /// The single [`ClientNode`] equivalent to this spec's client side —
+    /// `run_once` is exactly the 1×1 topology built from it.
+    pub fn client_node(&self) -> ClientNode {
+        ClientNode::new(self.client.label(), *self.client, *self.generator, *self.link, self.qps)
+    }
+}
+
+/// Per-node RNG stream keys: each node's randomness forks off the master
+/// seed under this key, so streams depend on node **content** (including
+/// the label), never on declaration order. Identical nodes (same label
+/// *and* configuration) are disambiguated by replica index so they still
+/// behave as independent machines rather than perfectly correlated
+/// clones.
+pub(crate) fn node_stream_keys(nodes: &[ClientNode]) -> Vec<u64> {
+    let mut keys: Vec<u64> = nodes.iter().map(ClientNode::content_key).collect();
+    let mut seen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for key in &mut keys {
+        let replica = seen.entry(*key).or_insert(0);
+        if *replica > 0 {
+            // splitmix-style remix keeps replicas well separated from
+            // every other content key.
+            let mixed = (*key ^ replica.wrapping_mul(0x9e37_79b9_7f4a_7c15)).rotate_left(23);
+            *key = mixed.wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1;
+        }
+        *replica += 1;
+    }
+    keys
+}
+
+/// The measurements of one client node over a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeResult {
+    /// The node's label, copied from its [`ClientNode`].
+    pub label: String,
+    /// The node's own measurements: latency distribution of *its*
+    /// requests, *its* schedule fidelity, wakes and energy — the same
+    /// shape as a single-client run's result.
+    pub result: RunResult,
+}
+
+/// The measurements of one fleet run: the aggregate the experimenter
+/// would naively report, plus the per-node breakdown that reveals which
+/// clients skewed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetResult {
+    /// Fleet-wide measurements (all nodes' requests pooled, counters
+    /// summed) — identical in shape to a single-client [`RunResult`].
+    pub aggregate: RunResult,
+    /// Per-node breakdowns, in node declaration order.
+    pub nodes: Vec<NodeResult>,
+}
+
+impl FleetResult {
+    /// The breakdown for the node labelled `label`.
+    pub fn node(&self, label: &str) -> Option<&NodeResult> {
+        self.nodes.iter().find(|n| n.label == label)
+    }
+
+    /// The largest per-node p99 — the straggler client's tail.
+    pub fn worst_node_p99(&self) -> SimDuration {
+        self.nodes.iter().map(|n| n.result.p99).max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The smallest per-node p99.
+    pub fn best_node_p99(&self) -> SimDuration {
+        self.nodes.iter().map(|n| n.result.p99).min().unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpv_net::LinkConfig;
+
+    fn node(label: &str, qps: f64) -> ClientNode {
+        ClientNode::new(
+            label,
+            MachineConfig::high_performance(),
+            GeneratorSpec::mutilate(),
+            LinkConfig::cloudlab_lan(),
+            qps,
+        )
+    }
+
+    #[test]
+    fn content_keys_depend_on_content_not_position() {
+        let a = node("a", 1000.0);
+        let b = node("b", 1000.0);
+        assert_ne!(a.content_key(), b.content_key(), "labels are content");
+        assert_eq!(a.content_key(), node("a", 1000.0).content_key());
+        assert_eq!(node_stream_keys(&[a.clone(), b.clone()])[0], node_stream_keys(&[b, a])[1]);
+    }
+
+    #[test]
+    fn replica_keys_are_distinct_but_order_symmetric() {
+        let n = node("same", 500.0);
+        let keys = node_stream_keys(&[n.clone(), n.clone(), n.clone()]);
+        assert_eq!(keys.len(), 3);
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[1], keys[2]);
+        assert_ne!(keys[0], keys[2]);
+        assert_eq!(keys[0], n.content_key(), "first replica keeps the content key");
+    }
+
+    #[test]
+    fn uniform_fleet_splits_load_and_connections() {
+        let fleet = uniform_fleet(
+            "agent",
+            MachineConfig::high_performance(),
+            GeneratorSpec::mutilate(),
+            LinkConfig::cloudlab_lan(),
+            100_000.0,
+            4,
+        );
+        assert_eq!(fleet.len(), 4);
+        assert_eq!(fleet[0].label, "agent0");
+        assert_eq!(fleet[3].label, "agent3");
+        assert!(fleet.iter().all(|n| n.qps == 25_000.0));
+        assert!(fleet.iter().all(|n| n.generator.connections == 40));
+        // Non-divisor split preserves the total connection count and load.
+        let uneven = uniform_fleet(
+            "u",
+            MachineConfig::high_performance(),
+            GeneratorSpec::mutilate(),
+            LinkConfig::cloudlab_lan(),
+            90_000.0,
+            3,
+        );
+        let conns: Vec<u32> = uneven.iter().map(|n| n.generator.connections).collect();
+        assert_eq!(conns, vec![54, 53, 53]);
+        assert_eq!(conns.iter().sum::<u32>(), 160);
+        let qps_total: f64 = uneven.iter().map(|n| n.qps).sum();
+        assert!((qps_total - 90_000.0).abs() < 1e-6, "load must be preserved: {qps_total}");
+        // Per-connection rate is uniform across nodes.
+        let rate0 = uneven[0].qps / uneven[0].generator.connections as f64;
+        for n in &uneven {
+            assert!((n.qps / n.generator.connections as f64 - rate0).abs() < 1e-9);
+        }
+        // Degenerate split: more nodes than connections clamps to 1 each.
+        let wide = uniform_fleet(
+            "w",
+            MachineConfig::high_performance(),
+            GeneratorSpec::wrk2(),
+            LinkConfig::cloudlab_lan(),
+            1_000.0,
+            32,
+        );
+        assert!(wide.iter().all(|n| n.generator.connections == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_fleet_panics() {
+        uniform_fleet(
+            "x",
+            MachineConfig::high_performance(),
+            GeneratorSpec::mutilate(),
+            LinkConfig::cloudlab_lan(),
+            1.0,
+            0,
+        );
+    }
+}

@@ -230,6 +230,29 @@ impl GeneratorSpec {
         self.think_time = think;
         self
     }
+
+    /// Returns a copy with a different connection count (clamped to at
+    /// least 1). Fleet topologies use this to split one deployment's
+    /// connections across several client nodes.
+    pub fn with_connections(mut self, connections: u32) -> Self {
+        self.connections = connections.max(1);
+        self
+    }
+}
+
+/// Raw send-schedule counters of one generator instance, for aggregating
+/// schedule fidelity across a fleet of client nodes (the per-instance
+/// ratios [`ClientSide::late_send_fraction`] and
+/// [`ClientSide::mean_send_slip`] cannot be averaged directly — they must
+/// be recombined from these counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SendStats {
+    /// Sends that slipped their schedule beyond the tolerance.
+    pub late_sends: u64,
+    /// Total sends attempted.
+    pub total_sends: u64,
+    /// Summed slip between scheduled and actual send times.
+    pub total_slip: SimDuration,
 }
 
 /// Planned timing of one request send.
@@ -370,6 +393,16 @@ impl ClientSide {
             SimDuration::ZERO
         } else {
             self.total_send_slip / self.total_sends
+        }
+    }
+
+    /// The raw counters behind the schedule-fidelity ratios, for
+    /// recombination across a fleet of generator instances.
+    pub fn send_stats(&self) -> SendStats {
+        SendStats {
+            late_sends: self.late_sends,
+            total_sends: self.total_sends,
+            total_slip: self.total_send_slip,
         }
     }
 
@@ -523,6 +556,23 @@ mod tests {
         assert_eq!(s.loop_mode, LoopMode::Closed);
         assert_eq!(s.think_time, SimDuration::from_us(50));
         assert_eq!(GeneratorSpec::synthetic_client().connections, 80);
+        assert_eq!(GeneratorSpec::mutilate().with_connections(40).connections, 40);
+        // Degenerate splits clamp to one connection.
+        assert_eq!(GeneratorSpec::mutilate().with_connections(0).connections, 1);
+    }
+
+    #[test]
+    fn send_stats_expose_the_raw_counters() {
+        let (mut client, mut rng) = lp_client(GeneratorSpec::mutilate(), 9);
+        for i in 1..=10u64 {
+            client.plan_send(0, SimTime::from_ms(5 * i), &mut rng);
+        }
+        let s = client.send_stats();
+        assert_eq!(s.total_sends, 10);
+        assert!(s.late_sends <= s.total_sends);
+        // The ratios recombine exactly from the raw counters.
+        assert_eq!(client.late_send_fraction(), s.late_sends as f64 / s.total_sends as f64);
+        assert_eq!(client.mean_send_slip(), s.total_slip / s.total_sends);
     }
 
     #[test]

@@ -68,6 +68,21 @@ impl LinkConfig {
         }
     }
 
+    /// A cross-rack path in the same datacenter: an extra switch hop and
+    /// longer cables (~18 µs one way), more jitter and a larger per-run
+    /// offset. Fleet topologies use this to model load-generator agents
+    /// that are *not* all on the server's rack — a client-side
+    /// configuration difference the paper's single-client testbed cannot
+    /// express.
+    pub fn cross_rack() -> Self {
+        LinkConfig {
+            base_one_way: SimDuration::from_us(18),
+            jitter_mean: SimDuration::from_us(4),
+            run_offset_sigma_us: 0.6,
+            coalescing: Coalescing::Off,
+        }
+    }
+
     /// An ideal, jitter-free link (unit tests, ablations).
     pub fn ideal() -> Self {
         LinkConfig {
@@ -260,6 +275,18 @@ mod tests {
         let mean = sum / n as f64;
         let expected = 11.0 + 2.0 + link.run_offset().as_us();
         assert!((mean - expected).abs() < 0.1, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn cross_rack_is_strictly_slower_than_the_lan() {
+        let lan = LinkConfig::cloudlab_lan();
+        let xr = LinkConfig::cross_rack();
+        assert!(xr.base_one_way > lan.base_one_way);
+        assert!(xr.jitter_mean > lan.jitter_mean);
+        assert!(xr.run_offset_sigma_us > lan.run_offset_sigma_us);
+        let mut rng = SimRng::seed_from_u64(9);
+        let link = Link::new(&xr, &mut rng);
+        assert!(link.one_way(&mut rng) >= SimDuration::from_us(18));
     }
 
     #[test]

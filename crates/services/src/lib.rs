@@ -35,6 +35,6 @@ pub mod synthetic;
 pub mod worker_pool;
 
 pub use interference::InterferenceProfile;
-pub use request::{RequestDescriptor, ServiceCompletion};
+pub use request::{NodeConn, RequestDescriptor, ServiceCompletion};
 pub use service::{ServiceConfig, ServiceInstance, ServiceKind};
 pub use worker_pool::WorkerPool;

@@ -62,6 +62,47 @@ impl RequestDescriptor {
     }
 }
 
+/// Identity of a request's origin in a multi-node topology: which client
+/// node sent it, on which of that node's connections.
+///
+/// Services dispatch work by connection affinity
+/// (`WorkerPool::worker_for_connection` and friends take a `usize` key).
+/// In a fleet, two nodes' connection 0 must not collapse onto the same
+/// affinity key, and the key must not depend on a node's *declaration
+/// order* — per-node results are pinned by content-addressed seeds, so
+/// permuting the fleet declaration must not move any node's requests to
+/// different workers. `affinity_key` therefore mixes a caller-supplied
+/// content-derived node identity with the node-local connection id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeConn {
+    /// Content-derived identity of the sending node. The reserved value 0
+    /// means "single-node topology" and keys admission by the bare
+    /// connection id, exactly as the historical single-client runtime did.
+    pub node_key: u64,
+    /// Node-local connection id.
+    pub conn: u32,
+}
+
+impl NodeConn {
+    /// The key for a connection of a single-node topology.
+    pub fn single(conn: u32) -> Self {
+        NodeConn { node_key: 0, conn }
+    }
+
+    /// The `usize` affinity key services dispatch on.
+    ///
+    /// With `node_key == 0` this is exactly `conn`; otherwise the node
+    /// identity is Fibonacci-mixed so distinct nodes' connection spaces
+    /// land on well-separated keys.
+    pub fn affinity_key(self) -> usize {
+        if self.node_key == 0 {
+            self.conn as usize
+        } else {
+            self.node_key.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(self.conn as u64) as usize
+        }
+    }
+}
+
 /// What the server did with a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceCompletion {
@@ -112,6 +153,29 @@ pub enum StageOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn single_node_affinity_key_is_the_bare_connection() {
+        for conn in [0u32, 7, 159] {
+            assert_eq!(NodeConn::single(conn).affinity_key(), conn as usize);
+        }
+    }
+
+    #[test]
+    fn fleet_affinity_keys_do_not_collide_across_nodes() {
+        let mut keys = std::collections::HashSet::new();
+        for node_key in [0x1111_2222_3333_4444u64, 0xdead_beef_cafe_f00d, 0x0123_4567_89ab_cdef] {
+            for conn in 0..160 {
+                assert!(
+                    keys.insert(NodeConn { node_key, conn }.affinity_key()),
+                    "collision at node {node_key:x} conn {conn}"
+                );
+            }
+        }
+        // Keys are stable: same identity, same key.
+        let k = NodeConn { node_key: 42, conn: 3 };
+        assert_eq!(k.affinity_key(), k.affinity_key());
+    }
 
     #[test]
     fn request_sizes_reflect_payloads() {

@@ -126,6 +126,11 @@ impl ServiceInstance {
 
     /// Admits a request arriving at the server NIC (stage 0).
     ///
+    /// `conn` is the connection-affinity key workers dispatch on. A
+    /// single-client runtime passes the bare connection id; multi-node
+    /// topologies pass [`crate::request::NodeConn::affinity_key`] so two
+    /// nodes' connection spaces stay disjoint.
+    ///
     /// Single-stage services (Memcached, Synthetic) complete immediately;
     /// multi-tier services return [`StageOutcome::Continue`] and must be
     /// driven through [`resume`](Self::resume) by the simulation's event

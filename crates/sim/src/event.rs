@@ -73,9 +73,17 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` to fire at `at`.
     ///
-    /// Scheduling in the past is allowed (the event fires "now", i.e. it is
-    /// popped next) — callers that care assert on their own clocks.
+    /// Scheduling before an already-popped timestamp is a logic error —
+    /// the simulation clock would have to run backwards, corrupting the
+    /// deterministic interleaving. Debug builds panic; release builds
+    /// clamp the event to fire "now" (it pops next, at the last-popped
+    /// instant).
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.last_popped,
+            "event scheduled at {at}, before the already-popped {} — time travel would corrupt determinism",
+            self.last_popped
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { at, seq, event });
@@ -160,6 +168,17 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time travel would corrupt determinism")]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(10), "a");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_us(10));
+        q.schedule(SimTime::from_us(3), "b");
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
     fn clock_never_runs_backwards() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_us(10), "a");

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod event;
+mod slab;
 mod time;
 
 pub mod dist;
@@ -49,5 +50,6 @@ pub use event::EventQueue;
 pub use hist::LatencyHistogram;
 pub use lindley::FifoResource;
 pub use rng::SimRng;
+pub use slab::Slab;
 pub use time::{SimDuration, SimTime};
 pub use welford::Welford;

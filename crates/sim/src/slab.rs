@@ -1,0 +1,160 @@
+//! A free-list slab arena for per-request simulation state.
+//!
+//! The event loop keeps one [`Slab`] of in-flight request records and
+//! routes only the `u32` key through the event queue, instead of copying
+//! the full request payload (descriptor, timestamps, stage context) into
+//! every event variant. Keys are recycled through a free list, so a run
+//! allocates O(peak in-flight) slots regardless of how many requests it
+//! processes.
+//!
+//! # Example
+//!
+//! ```
+//! use tpv_sim::Slab;
+//!
+//! let mut slab: Slab<&str> = Slab::with_capacity(4);
+//! let a = slab.insert("alpha");
+//! let b = slab.insert("beta");
+//! assert_eq!(*slab.get(a), "alpha");
+//! assert_eq!(slab.remove(b), "beta");
+//! // Freed keys are recycled.
+//! let c = slab.insert("gamma");
+//! assert_eq!(c, b);
+//! assert_eq!(slab.len(), 2);
+//! ```
+
+/// A slab of `T` values addressed by recycled `u32` keys.
+#[derive(Debug, Clone, Default)]
+pub struct Slab<T> {
+    entries: Vec<Option<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab { entries: Vec::new(), free: Vec::new(), live: 0 }
+    }
+
+    /// An empty slab with room for `capacity` concurrent entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Slab { entries: Vec::with_capacity(capacity), free: Vec::new(), live: 0 }
+    }
+
+    /// Stores `value` and returns its key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab would exceed `u32::MAX` slots.
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.live += 1;
+        match self.free.pop() {
+            Some(key) => {
+                self.entries[key as usize] = Some(value);
+                key
+            }
+            None => {
+                let key = u32::try_from(self.entries.len()).expect("slab exceeded u32::MAX slots");
+                self.entries.push(Some(value));
+                key
+            }
+        }
+    }
+
+    /// The value stored under `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is vacant or out of bounds.
+    pub fn get(&self, key: u32) -> &T {
+        self.entries[key as usize].as_ref().expect("slab key is vacant")
+    }
+
+    /// Mutable access to the value stored under `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is vacant or out of bounds.
+    pub fn get_mut(&mut self, key: u32) -> &mut T {
+        self.entries[key as usize].as_mut().expect("slab key is vacant")
+    }
+
+    /// Removes and returns the value under `key`, recycling the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is vacant or out of bounds.
+    pub fn remove(&mut self, key: u32) -> T {
+        let value = self.entries[key as usize].take().expect("slab key is vacant");
+        self.free.push(key);
+        self.live -= 1;
+        value
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (live + recyclable) — the slab's
+    /// high-water mark of concurrent entries.
+    pub fn high_water(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab = Slab::new();
+        let keys: Vec<u32> = (0..100).map(|i| slab.insert(i * 3)).collect();
+        assert_eq!(slab.len(), 100);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(*slab.get(k), i as i32 * 3);
+        }
+        for &k in &keys {
+            slab.remove(k);
+        }
+        assert!(slab.is_empty());
+        assert_eq!(slab.high_water(), 100);
+    }
+
+    #[test]
+    fn keys_are_recycled_lifo() {
+        let mut slab = Slab::with_capacity(8);
+        let a = slab.insert('a');
+        let b = slab.insert('b');
+        slab.remove(a);
+        slab.remove(b);
+        // LIFO recycling: most recently freed slot is reused first.
+        assert_eq!(slab.insert('c'), b);
+        assert_eq!(slab.insert('d'), a);
+        assert_eq!(slab.high_water(), 2, "no new slots while the free list serves");
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut slab = Slab::new();
+        let k = slab.insert(vec![1, 2]);
+        slab.get_mut(k).push(3);
+        assert_eq!(*slab.get(k), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacant")]
+    fn double_remove_panics() {
+        let mut slab = Slab::new();
+        let k = slab.insert(1);
+        slab.remove(k);
+        slab.remove(k);
+    }
+}

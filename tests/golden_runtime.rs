@@ -1,0 +1,244 @@
+//! Golden pins of `run_once` outputs across every spec shape the study
+//! registry exercises (service kinds × client configs × server scenarios
+//! × generator taxonomies).
+//!
+//! The values were captured from the pre-topology-refactor monolithic
+//! event loop; the topology kernel's trivial 1×1 topology must reproduce
+//! them **bit for bit** — the refactor's central invariant. Floats are
+//! pinned via `f64::to_bits`, durations via nanoseconds, so there is no
+//! tolerance to hide behind.
+//!
+//! To regenerate after an *intentional* semantic change:
+//! `cargo test --test golden_runtime -- --ignored --nocapture`
+//! and paste the printed rows over `GOLDEN`.
+
+use tpv_core::runtime::{run_once, RunResult, RunSpec};
+use tpv_hw::{CStatePolicy, MachineConfig};
+use tpv_loadgen::{GeneratorSpec, PointOfMeasurement, TimingMode};
+use tpv_net::LinkConfig;
+use tpv_services::hdsearch::HdSearchConfig;
+use tpv_services::kv::KvConfig;
+use tpv_services::socialnet::SocialConfig;
+use tpv_services::synthetic::SyntheticConfig;
+use tpv_services::{ServiceConfig, ServiceKind};
+use tpv_sim::SimDuration;
+
+/// One pinned case: a name, the seed, and the bit-exact observation.
+struct Golden {
+    name: &'static str,
+    seed: u64,
+    /// `[avg, p50, p99, max, std_dev, samples, achieved_bits, target_bits,
+    ///   late_bits, slip, w0, w1, w2, w3, energy_bits, truncated]`
+    /// (durations in ns, floats as `f64::to_bits`).
+    row: [u64; 16],
+}
+
+/// The spec shapes under pin, matching the registry studies: every
+/// service kind, both Table II clients, all three server scenarios, both
+/// timing modes, open and closed loops, and a non-default measurement
+/// point. Each returns owned parts; the caller borrows them into a
+/// `RunSpec`.
+struct Parts {
+    service: ServiceConfig,
+    client: MachineConfig,
+    server: MachineConfig,
+    generator: GeneratorSpec,
+    link: LinkConfig,
+    qps: f64,
+}
+
+fn cases() -> Vec<(&'static str, Parts)> {
+    let kv = || ServiceConfig::new(ServiceKind::Memcached(KvConfig::default()));
+    vec![
+        (
+            "memcached-lp-base",
+            Parts {
+                service: kv(),
+                client: MachineConfig::low_power(),
+                server: MachineConfig::server_baseline(),
+                generator: GeneratorSpec::mutilate(),
+                link: LinkConfig::cloudlab_lan(),
+                qps: 100_000.0,
+            },
+        ),
+        (
+            "memcached-hp-base",
+            Parts {
+                service: kv(),
+                client: MachineConfig::high_performance(),
+                server: MachineConfig::server_baseline(),
+                generator: GeneratorSpec::mutilate(),
+                link: LinkConfig::cloudlab_lan(),
+                qps: 100_000.0,
+            },
+        ),
+        (
+            "memcached-hp-smton",
+            Parts {
+                service: kv(),
+                client: MachineConfig::high_performance(),
+                server: MachineConfig::server_baseline().with_smt(true),
+                generator: GeneratorSpec::mutilate(),
+                link: LinkConfig::cloudlab_lan(),
+                qps: 300_000.0,
+            },
+        ),
+        (
+            "memcached-lp-c1eon",
+            Parts {
+                service: kv(),
+                client: MachineConfig::low_power(),
+                server: MachineConfig::server_baseline().with_cstates(CStatePolicy::UpToC1E),
+                generator: GeneratorSpec::mutilate(),
+                link: LinkConfig::cloudlab_lan(),
+                qps: 50_000.0,
+            },
+        ),
+        (
+            "hdsearch-hp-base",
+            Parts {
+                service: ServiceConfig::new(ServiceKind::HdSearch(HdSearchConfig {
+                    dataset_size: 1024,
+                    profile_queries: 32,
+                    ..HdSearchConfig::default()
+                })),
+                client: MachineConfig::high_performance(),
+                server: MachineConfig::server_baseline(),
+                generator: GeneratorSpec::microsuite_client(),
+                link: LinkConfig::cloudlab_lan(),
+                qps: 1_000.0,
+            },
+        ),
+        (
+            "socialnet-lp-base",
+            Parts {
+                service: ServiceConfig::new(ServiceKind::SocialNetwork(SocialConfig {
+                    users: 500,
+                    ..SocialConfig::default()
+                })),
+                client: MachineConfig::low_power(),
+                server: MachineConfig::server_baseline(),
+                generator: GeneratorSpec::wrk2(),
+                link: LinkConfig::cloudlab_lan(),
+                qps: 300.0,
+            },
+        ),
+        (
+            "synthetic-hp-100us",
+            Parts {
+                service: ServiceConfig::new(ServiceKind::Synthetic(SyntheticConfig::with_delay(
+                    SimDuration::from_us(100),
+                ))),
+                client: MachineConfig::high_performance(),
+                server: MachineConfig::server_baseline(),
+                generator: GeneratorSpec::synthetic_client(),
+                link: LinkConfig::cloudlab_lan(),
+                qps: 10_000.0,
+            },
+        ),
+        (
+            "memcached-hp-closed",
+            Parts {
+                service: kv(),
+                client: MachineConfig::high_performance(),
+                server: MachineConfig::server_baseline(),
+                generator: GeneratorSpec::mutilate().closed_loop(SimDuration::from_us(100)),
+                link: LinkConfig::cloudlab_lan(),
+                qps: 50_000.0,
+            },
+        ),
+        (
+            "memcached-lp-busywait-kernel",
+            Parts {
+                service: kv(),
+                client: MachineConfig::low_power(),
+                server: MachineConfig::server_baseline(),
+                generator: GeneratorSpec::mutilate()
+                    .with_timing(TimingMode::BusyWait)
+                    .with_pom(PointOfMeasurement::Kernel),
+                link: LinkConfig::ideal(),
+                qps: 100_000.0,
+            },
+        ),
+    ]
+}
+
+fn observe(parts: &Parts, seed: u64) -> [u64; 16] {
+    let spec = RunSpec {
+        service: &parts.service,
+        server: &parts.server,
+        client: &parts.client,
+        generator: &parts.generator,
+        link: &parts.link,
+        qps: parts.qps,
+        duration: SimDuration::from_ms(60),
+        warmup: SimDuration::from_ms(6),
+    };
+    let r: RunResult = run_once(&spec, seed);
+    [
+        r.avg.as_ns(),
+        r.p50.as_ns(),
+        r.p99.as_ns(),
+        r.max.as_ns(),
+        r.std_dev.as_ns(),
+        r.samples,
+        r.achieved_qps.to_bits(),
+        r.target_qps.to_bits(),
+        r.late_send_fraction.to_bits(),
+        r.mean_send_slip.as_ns(),
+        r.client_wakes[0],
+        r.client_wakes[1],
+        r.client_wakes[2],
+        r.client_wakes[3],
+        r.client_energy_core_secs.to_bits(),
+        r.truncated_inflight,
+    ]
+}
+
+/// Regeneration helper (not part of the suite): prints `GOLDEN` rows.
+#[test]
+#[ignore = "regeneration helper; run with --ignored --nocapture"]
+fn print_goldens() {
+    for (name, parts) in cases() {
+        for seed in [2024u64, 7] {
+            let row = observe(&parts, seed);
+            println!("    Golden {{ name: \"{name}\", seed: {seed}, row: {row:?} }},");
+        }
+    }
+}
+
+#[rustfmt::skip]
+const GOLDEN: &[Golden] = &[
+    Golden { name: "memcached-lp-base", seed: 2024, row: [80073, 76799, 212991, 286958, 22961, 5423, 4681637630290932774, 4681608360884174848, 4606972053291107339, 47990, 1754, 4319, 3698, 186, 4610470733030153829, 0] },
+    Golden { name: "memcached-lp-base", seed: 7, row: [85136, 80895, 219135, 256040, 28143, 5373, 4681574001145806848, 4681608360884174848, 4606995918898271073, 51133, 991, 3673, 4717, 363, 4610046289137307074, 0] },
+    Golden { name: "memcached-hp-base", seed: 2024, row: [51062, 50175, 77823, 235429, 8221, 5432, 4681649083537055441, 4681608360884174848, 4567835179950359390, 3521, 11966, 0, 0, 0, 4612641161559875206, 0] },
+    Golden { name: "memcached-hp-base", seed: 7, row: [50602, 49663, 67583, 257427, 6646, 5374, 4681575273728709367, 4681608360884174848, 4566045762472024819, 3502, 11895, 0, 0, 0, 4612640687988359990, 0] },
+    Golden { name: "memcached-hp-smton", seed: 2024, row: [53237, 51199, 97279, 352936, 11368, 16118, 4688871485271014210, 4688897573220515840, 4575113243075054527, 3550, 34408, 0, 0, 0, 4612742282370748235, 0] },
+    Golden { name: "memcached-hp-smton", seed: 7, row: [53110, 51199, 92159, 199660, 9650, 16312, 4688933205541786359, 4688897573220515840, 4575212262395839636, 3540, 34738, 0, 0, 0, 4612744140134867921, 0] },
+    Golden { name: "memcached-lp-c1eon", seed: 2024, row: [86103, 79871, 227327, 340307, 31507, 2765, 4677270197034131759, 4677104761256804352, 4607055149446385872, 59086, 555, 1994, 2721, 234, 4608769835361518673, 0] },
+    Golden { name: "memcached-lp-c1eon", seed: 7, row: [92922, 82943, 231423, 298605, 37073, 2705, 4677117487085829537, 4677104761256804352, 4607047895694264783, 63574, 288, 1610, 3027, 431, 4608389960108623071, 0] },
+    Golden { name: "hdsearch-hp-base", seed: 2024, row: [334974, 335871, 455321, 455321, 24765, 61, 4652682979097784168, 4652007308841189376, 0, 2000, 68, 0, 0, 0, 4597819831491481356, 0] },
+    Golden { name: "hdsearch-hp-base", seed: 7, row: [325160, 331775, 443518, 443518, 38995, 77, 4653986103989963131, 4652007308841189376, 0, 2000, 84, 0, 0, 0, 4597820984412985963, 0] },
+    Golden { name: "socialnet-lp-base", seed: 2024, row: [2008732, 1359871, 5754657, 5754657, 1307849, 21, 4645549021875550436, 4643985272004935680, 4607182418800017408, 120724, 0, 3, 28, 22, 4587347853031184738, 0] },
+    Golden { name: "socialnet-lp-base", seed: 7, row: [2534609, 1261567, 12401600, 12401600, 2483363, 30, 4648097934164652487, 4643985272004935680, 4607182418800017408, 111810, 2, 2, 36, 29, 4588863960799322860, 0] },
+    Golden { name: "synthetic-hp-100us", seed: 2024, row: [157598, 151551, 266239, 328563, 25195, 527, 4666590823845481434, 4666723172467343360, 0, 3499, 1201, 0, 0, 0, 4612592153492312952, 0] },
+    Golden { name: "synthetic-hp-100us", seed: 7, row: [157624, 151551, 253951, 357851, 25071, 546, 4666784256446664249, 4666723172467343360, 0, 3481, 1268, 0, 0, 0, 4612592962728367398, 0] },
+    Golden { name: "memcached-hp-closed", seed: 2024, row: [121801, 117759, 231423, 2528326, 59094, 38335, 4694345270288692262, 4677104761256804352, 4580198118814716967, 3626, 77769, 0, 0, 0, 4612945505338112090, 0] },
+    Golden { name: "memcached-hp-closed", seed: 7, row: [121476, 118783, 227327, 926585, 33755, 38390, 4694354019296147077, 4677104761256804352, 4578658944735367939, 3595, 78326, 0, 0, 0, 4612947422153430093, 0] },
+    Golden { name: "memcached-lp-busywait-kernel", seed: 2024, row: [43602, 42495, 76799, 184941, 8018, 5431, 4681647810954152922, 4681608360884174848, 0, 2000, 451, 1923, 2647, 227, 4608819955447092279, 0] },
+    Golden { name: "memcached-lp-busywait-kernel", seed: 7, row: [43487, 42495, 68607, 225961, 8195, 5374, 4681575273728709367, 4681608360884174848, 0, 2000, 219, 1472, 3050, 413, 4608501208356957412, 0] },
+];
+
+#[test]
+fn one_by_one_topology_matches_pre_refactor_run_once() {
+    assert!(!GOLDEN.is_empty(), "golden table must be populated");
+    let by_name = cases();
+    for g in GOLDEN {
+        let (_, parts) = by_name
+            .iter()
+            .find(|(n, _)| *n == g.name)
+            .unwrap_or_else(|| panic!("unknown golden case {}", g.name));
+        let row = observe(parts, g.seed);
+        assert_eq!(row, g.row, "{} seed {} drifted from the pre-refactor pin", g.name, g.seed);
+    }
+}
