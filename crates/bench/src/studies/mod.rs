@@ -6,9 +6,11 @@
 
 pub(crate) mod calibrate;
 pub(crate) mod ext_closed_loop;
+pub(crate) mod ext_diurnal_fleet;
 pub(crate) mod ext_fleet_scaling;
 pub(crate) mod ext_mixed_fleet;
 pub(crate) mod ext_space_exploration;
+pub(crate) mod ext_turbo_decay;
 pub(crate) mod ext_verdict_methods;
 pub(crate) mod fig2;
 pub(crate) mod fig3;

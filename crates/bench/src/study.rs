@@ -12,6 +12,7 @@
 use std::sync::Arc;
 
 use tpv_core::engine::{fingerprint_topology, Engine, JobPlan, RunCache};
+use tpv_core::runtime::PhasedFleetResult;
 use tpv_core::topology::{FleetResult, TopologySpec};
 
 use crate::studies;
@@ -64,6 +65,27 @@ impl StudyCtx {
         let mut per_cell: Vec<Vec<FleetResult>> = vec![Vec::with_capacity(runs); topos.len()];
         for (cell, _, fleet) in results {
             per_cell[cell].push(fleet);
+        }
+        per_cell
+    }
+
+    /// The phased counterpart of [`StudyCtx::run_fleet_cells`]: every
+    /// topology cell executes as a [`tpv_core::runtime::run_phased`] job,
+    /// so each run carries pooled per-phase statistics next to its fleet
+    /// result — what the time-varying studies (`ext_diurnal_fleet`,
+    /// `ext_turbo_decay`) render.
+    pub fn run_phased_cells(
+        &self,
+        topos: &[TopologySpec<'_>],
+        runs: usize,
+        seed: u64,
+    ) -> Vec<Vec<PhasedFleetResult>> {
+        let fingerprints: Vec<u64> = topos.iter().map(fingerprint_topology).collect();
+        let plan = JobPlan::new(seed, &fingerprints, runs);
+        let results = self.engine.execute_phased(&plan, |cell| topos[cell]);
+        let mut per_cell: Vec<Vec<PhasedFleetResult>> = vec![Vec::with_capacity(runs); topos.len()];
+        for (cell, _, phased) in results {
+            per_cell[cell].push(phased);
         }
         per_cell
     }
@@ -188,6 +210,18 @@ pub fn registry() -> Vec<Study> {
             run: studies::ext_fleet_scaling::run,
         },
         Study {
+            name: "ext_diurnal_fleet",
+            title: "Extension: fleet under stepped diurnal load, per-phase regimes",
+            kind: StudyKind::Extension,
+            run: studies::ext_diurnal_fleet::run,
+        },
+        Study {
+            name: "ext_turbo_decay",
+            title: "Extension: turbo/power budget exhausts mid-run on a node subset",
+            kind: StudyKind::Extension,
+            run: studies::ext_turbo_decay::run,
+        },
+        Study {
             name: "ext_verdict_methods",
             title: "Extension: CI-overlap vs Mann-Whitney verdicts",
             kind: StudyKind::Extension,
@@ -217,4 +251,29 @@ pub fn run_by_name(name: &str) {
     let study = find(name).unwrap_or_else(|| panic!("unknown study '{name}'"));
     let ctx = StudyCtx::new();
     (study.run)(&ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_include_the_dynamic_studies() {
+        let studies = registry();
+        let mut names: Vec<&str> = studies.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let mut deduped = names.clone();
+        deduped.dedup();
+        assert_eq!(names, deduped, "registry names must be unique");
+        // The `all_experiments --list` smoke check greps for these; keep
+        // the registry and CI in sync.
+        for required in ["ext_diurnal_fleet", "ext_turbo_decay", "ext_mixed_fleet", "ext_fleet_scaling"] {
+            assert!(
+                find(required).is_some(),
+                "study '{required}' must be registered (CI smoke-checks --list for it)"
+            );
+        }
+        assert_eq!(find("ext_diurnal_fleet").unwrap().kind, StudyKind::Extension);
+        assert_eq!(find("ext_turbo_decay").unwrap().kind, StudyKind::Extension);
+    }
 }

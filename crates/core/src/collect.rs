@@ -8,7 +8,7 @@
 //! against). The kernel is generic over the collector, so the null case
 //! monomorphizes to empty inlined hooks.
 
-use tpv_sim::{LatencyHistogram, SimDuration, SimTime};
+use tpv_sim::{LatencyHistogram, PhaseSchedule, SimDuration, SimTime};
 
 use crate::runtime::{RunResult, RunTrace};
 
@@ -42,10 +42,12 @@ pub trait Collector {
         let _ = (node, conn, due, wire);
     }
 
-    /// An in-window request from `node` completed with end-to-end latency
-    /// `measured` (called exactly when the aggregate histogram records).
-    fn on_latency(&mut self, node: usize, measured: SimDuration) {
-        let _ = (node, measured);
+    /// An in-window request from `node`, stamped at `stamp`, completed
+    /// with end-to-end latency `measured` (called exactly when the
+    /// aggregate histogram records). The stamp attributes the sample to
+    /// a point of the run — e.g. its phase, for [`PhaseCollector`].
+    fn on_latency(&mut self, node: usize, stamp: SimTime, measured: SimDuration) {
+        let _ = (node, stamp, measured);
     }
 
     /// End-of-run statistics for `node`.
@@ -88,7 +90,7 @@ impl PerNodeCollector {
 }
 
 impl Collector for PerNodeCollector {
-    fn on_latency(&mut self, node: usize, measured: SimDuration) {
+    fn on_latency(&mut self, node: usize, _stamp: SimTime, measured: SimDuration) {
         self.hists[node].record(measured);
     }
 
@@ -153,10 +155,129 @@ impl Collector for TraceCollector {
         }
     }
 
-    fn on_latency(&mut self, _node: usize, measured: SimDuration) {
+    fn on_latency(&mut self, _node: usize, _stamp: SimTime, measured: SimDuration) {
         if self.trace.latencies_us.len() < self.max_trace {
             self.trace.latencies_us.push(measured.as_us());
         }
+    }
+}
+
+/// Forwards every hook to both collectors — composition for runs that
+/// need two independent collections in one pass (e.g. per-node *and*
+/// per-phase, which is what [`crate::runtime::run_phased`] does).
+impl<A: Collector, B: Collector> Collector for (A, B) {
+    fn on_send(&mut self, node: usize, conn: u32, due: SimTime, wire: SimTime) {
+        self.0.on_send(node, conn, due, wire);
+        self.1.on_send(node, conn, due, wire);
+    }
+
+    fn on_latency(&mut self, node: usize, stamp: SimTime, measured: SimDuration) {
+        self.0.on_latency(node, stamp, measured);
+        self.1.on_latency(node, stamp, measured);
+    }
+
+    fn on_node_done(&mut self, node: usize, stats: &NodeStats) {
+        self.0.on_node_done(node, stats);
+        self.1.on_node_done(node, stats);
+    }
+}
+
+/// Pooled latency statistics of one phase of a run — the per-phase
+/// counterpart of a [`RunResult`]'s latency block. A phase boundary that
+/// changes machine state or load shows up as a regime change between
+/// consecutive `PhaseStats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// Phase index in the collector's schedule.
+    pub phase: usize,
+    /// First instant of the phase, clamped to the measurement window.
+    pub start: SimTime,
+    /// First instant after the phase, clamped to the measurement window.
+    pub end: SimTime,
+    /// Requests stamped inside this phase (and the window).
+    pub samples: u64,
+    /// Mean end-to-end latency of the phase's requests.
+    pub avg: SimDuration,
+    /// Median latency of the phase's requests.
+    pub p50: SimDuration,
+    /// 99th-percentile latency of the phase's requests.
+    pub p99: SimDuration,
+    /// Largest latency of the phase's requests.
+    pub max: SimDuration,
+    /// Within-phase coefficient of variation (`std_dev / mean`; 0 when
+    /// the phase is empty).
+    pub cov: f64,
+    /// Completions per second of phase time.
+    pub achieved_qps: f64,
+}
+
+/// Buckets in-window latencies by the phase their request was *stamped*
+/// in, yielding one [`PhaseStats`] per phase that overlaps the
+/// measurement window.
+///
+/// Attribution is by send stamp, not completion: a request belongs to the
+/// regime that produced it, even if its response lands after the next
+/// boundary.
+#[derive(Debug)]
+pub struct PhaseCollector {
+    schedule: PhaseSchedule,
+    window_start: SimTime,
+    window_end: SimTime,
+    hists: Vec<LatencyHistogram>,
+}
+
+impl PhaseCollector {
+    /// A collector bucketing by `schedule` over the measurement window
+    /// `[window_start, window_end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the window is non-empty.
+    pub fn new(schedule: PhaseSchedule, window_start: SimTime, window_end: SimTime) -> Self {
+        assert!(window_start < window_end, "empty measurement window");
+        let phases = schedule.phase_count();
+        PhaseCollector {
+            schedule,
+            window_start,
+            window_end,
+            hists: (0..phases).map(|_| LatencyHistogram::new()).collect(),
+        }
+    }
+
+    /// Per-phase statistics for every phase overlapping the window, in
+    /// phase order.
+    pub fn into_stats(self) -> Vec<PhaseStats> {
+        (0..self.schedule.phase_count())
+            .filter_map(|p| {
+                let start = self.schedule.phase_start(p).max(self.window_start);
+                let end = self.schedule.phase_end(p).min(self.window_end);
+                if start >= end {
+                    return None;
+                }
+                let h = &self.hists[p];
+                let mean = h.mean();
+                let cov =
+                    if h.count() == 0 || mean.is_zero() { 0.0 } else { h.std_dev().as_us() / mean.as_us() };
+                Some(PhaseStats {
+                    phase: p,
+                    start,
+                    end,
+                    samples: h.count(),
+                    avg: mean,
+                    p50: h.median(),
+                    p99: h.percentile(99.0),
+                    max: h.max(),
+                    cov,
+                    achieved_qps: h.count() as f64 / end.since(start).as_secs(),
+                })
+            })
+            .collect()
+    }
+}
+
+impl Collector for PhaseCollector {
+    fn on_latency(&mut self, _node: usize, stamp: SimTime, measured: SimDuration) {
+        self.hists[self.schedule.phase_at(stamp)].record(measured);
     }
 }
 
@@ -186,9 +307,9 @@ mod tests {
         c.on_send(0, 2, SimTime::from_ms(3), SimTime::from_ms(3));
         c.on_send(0, 3, SimTime::from_ms(4), SimTime::from_ms(4));
         assert_eq!(c.trace.wire_departures.len(), 2, "bounded at max_trace");
-        c.on_latency(0, SimDuration::from_us(50));
-        c.on_latency(0, SimDuration::from_us(60));
-        c.on_latency(0, SimDuration::from_us(70));
+        c.on_latency(0, SimTime::from_ms(2), SimDuration::from_us(50));
+        c.on_latency(0, SimTime::from_ms(3), SimDuration::from_us(60));
+        c.on_latency(0, SimTime::from_ms(4), SimDuration::from_us(70));
         let trace = c.into_trace();
         assert_eq!(trace.latencies_us, vec![50.0, 60.0]);
         assert_eq!(trace.scheduled_gap_us, 10.0);
@@ -198,6 +319,55 @@ mod tests {
     fn null_collector_is_inert() {
         let mut c = NullCollector;
         c.on_send(0, 0, SimTime::ZERO, SimTime::ZERO);
-        c.on_latency(0, SimDuration::ZERO);
+        c.on_latency(0, SimTime::ZERO, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn phase_collector_buckets_by_stamp_and_clamps_to_window() {
+        let schedule = PhaseSchedule::new(vec![SimTime::from_ms(10)]);
+        let mut c = PhaseCollector::new(schedule, SimTime::from_ms(2), SimTime::from_ms(20));
+        // Two fast requests in phase 0, two slow ones in phase 1.
+        c.on_latency(0, SimTime::from_ms(3), SimDuration::from_us(50));
+        c.on_latency(0, SimTime::from_ms(9), SimDuration::from_us(60));
+        c.on_latency(1, SimTime::from_ms(10), SimDuration::from_us(200));
+        c.on_latency(0, SimTime::from_ms(15), SimDuration::from_us(300));
+        let stats = c.into_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].phase, 0);
+        assert_eq!((stats[0].start, stats[0].end), (SimTime::from_ms(2), SimTime::from_ms(10)));
+        assert_eq!(stats[0].samples, 2);
+        assert!(stats[0].p99 <= SimDuration::from_us(70));
+        assert_eq!((stats[1].start, stats[1].end), (SimTime::from_ms(10), SimTime::from_ms(20)));
+        assert_eq!(stats[1].samples, 2);
+        // The boundary is visible as a latency regime change.
+        assert!(stats[1].p50 > stats[0].p50 * 2);
+        // Achieved rate uses phase time: 2 samples over 8 ms and 10 ms.
+        assert!((stats[0].achieved_qps - 250.0).abs() < 1.0);
+        assert!((stats[1].achieved_qps - 200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn phase_collector_skips_phases_outside_the_window() {
+        let schedule = PhaseSchedule::new(vec![SimTime::from_ms(5), SimTime::from_ms(50)]);
+        let c = PhaseCollector::new(schedule, SimTime::from_ms(10), SimTime::from_ms(40));
+        let stats = c.into_stats();
+        // Phase 0 ends before the window opens; phase 2 starts after it
+        // closes: only phase 1 remains, empty but well-formed.
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].phase, 1);
+        assert_eq!(stats[0].samples, 0);
+        assert_eq!(stats[0].cov, 0.0);
+    }
+
+    #[test]
+    fn pair_collector_feeds_both_halves() {
+        let mut pair = (
+            PerNodeCollector::new(1),
+            PhaseCollector::new(PhaseSchedule::single(), SimTime::ZERO, SimTime::from_ms(10)),
+        );
+        pair.on_latency(0, SimTime::from_ms(1), SimDuration::from_us(70));
+        let (per_node, phases) = pair;
+        assert_eq!(per_node.hists[0].count(), 1);
+        assert_eq!(phases.into_stats()[0].samples, 1);
     }
 }

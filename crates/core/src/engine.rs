@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex};
 
 use tpv_sim::SimRng;
 
-use crate::runtime::{run_once, run_topology, RunResult, RunSpec};
+use crate::runtime::{run_once, run_phased, run_topology, PhasedFleetResult, RunResult, RunSpec};
 use crate::topology::{FleetResult, TopologySpec};
 
 /// One schedulable unit of work: a single seeded run of one cell.
@@ -323,6 +323,20 @@ impl Engine {
         F: Fn(usize) -> TopologySpec<'s> + Sync,
     {
         self.execute_jobs(plan, |job| run_topology(&spec_of(job.cell), job.seed))
+    }
+
+    /// Executes every job of `plan` as a phased fleet run
+    /// ([`crate::runtime::run_phased`]): the fleet result plus pooled
+    /// per-phase statistics over the topology's merged schedule.
+    ///
+    /// Like [`Engine::execute_topology`], phased jobs bypass the
+    /// [`RunCache`]; determinism is unchanged — seeds travel with the
+    /// jobs.
+    pub fn execute_phased<'s, F>(&self, plan: &JobPlan, spec_of: F) -> Vec<(usize, usize, PhasedFleetResult)>
+    where
+        F: Fn(usize) -> TopologySpec<'s> + Sync,
+    {
+        self.execute_jobs(plan, |job| run_phased(&spec_of(job.cell), job.seed))
     }
 
     /// Executes one traced run (fidelity diagnostics) through the engine.

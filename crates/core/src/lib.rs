@@ -36,8 +36,12 @@ pub mod survey;
 pub mod topology;
 
 pub use analysis::{Comparison, Summary, Verdict};
-pub use collect::{Collector, NodeStats, NullCollector, PerNodeCollector, TraceCollector};
+pub use collect::{
+    Collector, NodeStats, NullCollector, PerNodeCollector, PhaseCollector, PhaseStats, TraceCollector,
+};
 pub use engine::{CacheStats, Engine, Job, JobPlan, RunCache};
 pub use experiment::{Benchmark, Experiment, ExperimentResults, ServerScenario};
-pub use runtime::{run_once, run_topology, run_traced, RunResult, RunSpec, RunTrace};
-pub use topology::{uniform_fleet, ClientNode, FleetResult, NodeResult, TopologySpec};
+pub use runtime::{
+    run_once, run_phased, run_topology, run_traced, PhasedFleetResult, RunResult, RunSpec, RunTrace,
+};
+pub use topology::{uniform_fleet, ClientNode, FleetResult, NodeDynamics, NodeResult, TopologySpec};

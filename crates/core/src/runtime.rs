@@ -20,21 +20,30 @@
 //!   any node's results;
 //! * metric collection is pluggable through [`Collector`] — the
 //!   aggregate [`RunResult`] is always produced, per-node breakdowns and
-//!   fidelity traces hook in without touching the hot loop.
+//!   fidelity traces hook in without touching the hot loop;
+//! * runs can be **time-varying**: a node's
+//!   [`NodeDynamics`] schedules deterministic phase boundaries at which
+//!   its machine configuration, offered rate and/or link switch, and
+//!   [`run_phased`] reports the per-phase latency regimes next to the
+//!   whole-run fleet result.
 //!
 //! The single-node topology reproduces the historical monolithic loop's
 //! RNG stream layout exactly, so `run_once` is **bit-identical** to the
-//! pre-topology runtime (pinned by `tests/golden_runtime.rs`).
+//! pre-topology runtime, and a degenerate single-phase schedule is
+//! bit-identical to the static kernel (both pinned by
+//! `tests/golden_runtime.rs`).
 
 use tpv_hw::MachineConfig;
-use tpv_loadgen::{ArrivalProcess, ClientSide, GeneratorSpec, LoopMode, PointOfMeasurement};
+use tpv_loadgen::{ArrivalKind, ArrivalProcess, ClientSide, GeneratorSpec, LoopMode, PointOfMeasurement};
 use tpv_net::{Connection, Link, LinkConfig};
 use tpv_services::request::StageCtx;
 use tpv_services::{NodeConn, RequestDescriptor, ServiceConfig, ServiceInstance};
 use tpv_sim::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime, Slab};
 
-use crate::collect::{Collector, NodeStats, NullCollector, PerNodeCollector, TraceCollector};
-use crate::topology::{node_stream_keys, ClientNode, FleetResult, NodeResult, TopologySpec};
+use crate::collect::{
+    Collector, NodeStats, NullCollector, PerNodeCollector, PhaseCollector, PhaseStats, TraceCollector,
+};
+use crate::topology::{node_stream_keys, ClientNode, FleetResult, NodeDynamics, NodeResult, TopologySpec};
 
 /// Everything needed to execute one run.
 #[derive(Debug, Clone, Copy)]
@@ -160,6 +169,9 @@ enum Event {
     ServiceStage { req: u32 },
     /// Request `req`'s response reached its client NIC.
     ClientDelivery { req: u32 },
+    /// `node` enters `phase` of its [`NodeDynamics`] schedule: its
+    /// effective machine configuration, arrival rate and/or link switch.
+    PhaseStart { node: u16, phase: u16 },
 }
 
 /// Arena record of one in-flight request.
@@ -187,8 +199,9 @@ pub struct RunTrace {
 }
 
 /// Live per-node state of the kernel: the node's generator, link,
-/// connections, and its content-addressed RNG streams.
-struct NodeState {
+/// connections, its content-addressed RNG streams and (for dynamic
+/// nodes) its phase plan.
+struct NodeState<'a> {
     client: ClientSide,
     link: Link,
     conns: Vec<Connection>,
@@ -200,32 +213,58 @@ struct NodeState {
     /// draw from the shared service stream, exactly as the monolithic
     /// loop did.
     desc_rng: Option<SimRng>,
+    /// Stream for per-phase environment redraws. Forked for every node
+    /// but never consumed on static nodes, so the phase layer costs the
+    /// static path no randomness.
+    phase_rng: SimRng,
+    /// The node's phase plan, if any.
+    dynamics: Option<&'a NodeDynamics>,
+    /// Inter-arrival distribution family, kept to rebuild the arrival
+    /// process when a phase changes the rate.
+    arrival_kind: ArrivalKind,
     /// Content identity for admission keying (0 = single-node layout).
     node_key: u64,
     pom: PointOfMeasurement,
     loop_mode: LoopMode,
     think_time: SimDuration,
+    /// Base offered load (phase multipliers scale it).
     qps: f64,
+    /// Effective offered load over the measurement window (equals `qps`
+    /// for static nodes).
+    target_qps: f64,
     /// In-window requests sent but not yet delivered.
     inflight_measured: u64,
 }
 
-impl NodeState {
+impl<'a> NodeState<'a> {
     #[allow(clippy::too_many_arguments)]
     fn new(
-        node: &ClientNode,
+        node: &'a ClientNode,
         node_key: u64,
         client_env: &tpv_hw::RunEnvironment,
         arrival_rng: SimRng,
         client_rng: SimRng,
         mut net_rng: SimRng,
         desc_rng: Option<SimRng>,
+        phase_rng: SimRng,
+        window: (SimTime, SimTime),
     ) -> Self {
+        let dynamics = node.dynamics.as_ref();
         let n_conns = node.generator.connections.max(1) as usize;
-        let per_conn_gap = SimDuration::from_secs_f64(n_conns as f64 / node.qps);
-        let link = Link::new(&node.link, &mut net_rng);
+        // Phase 0 resolves every time-varying aspect; static nodes take
+        // the exact legacy expressions (no float perturbation).
+        let per_conn_gap = match dynamics.and_then(|d| d.rate.as_ref()) {
+            Some(rate) => SimDuration::from_secs_f64(n_conns as f64 / (node.qps * rate.multiplier(0))),
+            None => SimDuration::from_secs_f64(n_conns as f64 / node.qps),
+        };
+        let link0 = dynamics.and_then(|d| d.links.as_ref()).map_or(&node.link, |links| &links[0]);
+        let link = Link::new(link0, &mut net_rng);
+        let target_qps = match dynamics {
+            Some(dy) => node.qps * dy.mean_rate_multiplier(window.0, window.1),
+            None => node.qps,
+        };
         NodeState {
-            client: ClientSide::new(node.generator, &node.machine, client_env),
+            client: ClientSide::new(node.generator, node.initial_machine(), client_env),
             link,
             conns: (0..n_conns).map(Connection::new).collect(),
             arrivals: ArrivalProcess::new(node.generator.arrival, per_conn_gap),
@@ -233,12 +272,45 @@ impl NodeState {
             client_rng,
             net_rng,
             desc_rng,
+            phase_rng,
+            dynamics,
+            arrival_kind: node.generator.arrival,
             node_key,
             pom: node.generator.pom,
             loop_mode: node.generator.loop_mode,
             think_time: node.generator.think_time,
             qps: node.qps,
+            target_qps,
             inflight_measured: 0,
+        }
+    }
+
+    /// Applies the switches of entering `phase` (machine, rate, link).
+    /// Only aspects whose value actually changes at this boundary act,
+    /// so repeated values neither redraw environments nor rebuild links.
+    fn enter_phase(&mut self, phase: usize) {
+        let dy = self.dynamics.expect("phase event on a static node");
+        if let Some(plan) = &dy.machine {
+            if plan.config(phase) != plan.config(phase - 1) {
+                let cfg = plan.config(phase);
+                // The new regime draws a fresh environment from its own
+                // variability profile — per-node stream, so fleets stay
+                // permutation invariant.
+                let env = cfg.draw_environment(&mut self.phase_rng);
+                self.client.reconfigure(cfg, &env);
+            }
+        }
+        if let Some(rate) = &dy.rate {
+            if rate.multiplier(phase) != rate.multiplier(phase - 1) {
+                let gap =
+                    SimDuration::from_secs_f64(self.conns.len() as f64 / (self.qps * rate.multiplier(phase)));
+                self.arrivals = ArrivalProcess::new(self.arrival_kind, gap);
+            }
+        }
+        if let Some(links) = &dy.links {
+            if links[phase] != links[phase - 1] {
+                self.link = Link::new(&links[phase], &mut self.net_rng);
+            }
         }
     }
 }
@@ -314,6 +386,61 @@ pub fn run_topology(topo: &TopologySpec<'_>, seed: u64) -> FleetResult {
     FleetResult { aggregate, nodes }
 }
 
+/// The measurements of one phased fleet run: the whole-run fleet view
+/// plus the pooled per-phase latency regimes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedFleetResult {
+    /// Whole-run aggregate and per-node breakdowns (identical in shape
+    /// to [`run_topology`]'s result).
+    pub fleet: FleetResult,
+    /// Pooled per-phase statistics over the topology's merged schedule
+    /// (one all-covering phase for a fully static topology), restricted
+    /// to phases overlapping the measurement window.
+    pub phases: Vec<PhaseStats>,
+}
+
+impl PhasedFleetResult {
+    /// The per-phase stats for schedule phase `phase`, if it overlaps
+    /// the measurement window.
+    pub fn phase(&self, phase: usize) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.phase == phase)
+    }
+}
+
+/// Like [`run_topology`], additionally bucketing pooled latencies by the
+/// phase their request was stamped in (over the topology's
+/// [`TopologySpec::merged_schedule`]). This is the entry point for
+/// time-varying studies: a phase boundary that switches machine state or
+/// load is visible as a regime change between consecutive
+/// [`PhaseStats`].
+///
+/// The whole-run `fleet` half is produced by the same kernel pass, so it
+/// matches [`run_topology`]'s output bit for bit.
+///
+/// # Panics
+///
+/// Panics if the topology has no nodes, any node's `qps` is not positive,
+/// any node's dynamics fail validation, or `warmup >= duration`.
+pub fn run_phased(topo: &TopologySpec<'_>, seed: u64) -> PhasedFleetResult {
+    let mut collector = (
+        PerNodeCollector::new(topo.nodes.len()),
+        PhaseCollector::new(
+            topo.merged_schedule(),
+            SimTime::ZERO + topo.warmup,
+            SimTime::ZERO + topo.duration,
+        ),
+    );
+    let aggregate = run_collected(topo, seed, &mut collector);
+    let (per_node, per_phase) = collector;
+    let nodes = topo
+        .nodes
+        .iter()
+        .zip(per_node.into_results())
+        .map(|(node, result)| NodeResult { label: node.label.clone(), result })
+        .collect();
+    PhasedFleetResult { fleet: FleetResult { aggregate, nodes }, phases: per_phase.into_stats() }
+}
+
 /// The topology kernel: executes one run, feeding observations to
 /// `collector`. This is the single hot loop behind [`run_once`],
 /// [`run_traced`] and [`run_topology`].
@@ -321,12 +448,30 @@ pub fn run_topology(topo: &TopologySpec<'_>, seed: u64) -> FleetResult {
 /// # Panics
 ///
 /// Panics if the topology has no nodes, any node's `qps` is not positive,
-/// or `warmup >= duration`.
+/// any node's dynamics fail validation (including a phased rate on a
+/// closed-loop generator), or `warmup >= duration`.
 pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector: &mut C) -> RunResult {
     assert!(!topo.nodes.is_empty(), "topology needs at least one client node");
     assert!(topo.nodes.len() <= u16::MAX as usize, "topology exceeds {} nodes", u16::MAX);
     for node in topo.nodes {
         assert!(node.qps > 0.0, "offered load must be positive, got {}", node.qps);
+        if let Some(dy) = &node.dynamics {
+            dy.validate();
+            assert!(
+                dy.schedule.phase_count() <= u16::MAX as usize,
+                "node '{}' exceeds {} phases",
+                node.label,
+                u16::MAX
+            );
+            // Closed loops pace by think time, not the arrival process a
+            // rate plan rebuilds — a phased rate there would change the
+            // reported target without changing the offered load.
+            assert!(
+                dy.rate.is_none() || node.generator.loop_mode == LoopMode::Open,
+                "node '{}': phased rates require an open-loop generator (closed loops pace by think time)",
+                node.label
+            );
+        }
     }
     assert!(topo.warmup < topo.duration, "warmup must be shorter than the run");
 
@@ -342,11 +487,12 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
     // service stream), keeping `run_once` bit-identical to the
     // pre-topology runtime. Fleets give every node its own streams forked
     // under its content key.
-    let mut states: Vec<NodeState> = Vec::with_capacity(topo.nodes.len());
+    let window = (SimTime::ZERO + topo.warmup, SimTime::ZERO + topo.duration);
+    let mut states: Vec<NodeState<'_>> = Vec::with_capacity(topo.nodes.len());
     let server_env;
     if single {
         let node = &topo.nodes[0];
-        let client_env = node.machine.draw_environment(&mut env_rng);
+        let client_env = node.initial_machine().draw_environment(&mut env_rng);
         server_env = topo.server.draw_environment(&mut env_rng);
         states.push(NodeState::new(
             node,
@@ -356,13 +502,15 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
             master.fork(2),
             master.fork(4),
             None,
+            master.fork(6),
+            window,
         ));
     } else {
         server_env = topo.server.draw_environment(&mut env_rng);
         for (node, key) in topo.nodes.iter().zip(node_stream_keys(topo.nodes)) {
             let node_master = master.fork(key);
             let mut node_env_rng = node_master.fork(5);
-            let client_env = node.machine.draw_environment(&mut node_env_rng);
+            let client_env = node.initial_machine().draw_environment(&mut node_env_rng);
             states.push(NodeState::new(
                 node,
                 key,
@@ -371,6 +519,8 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
                 node_master.fork(2),
                 node_master.fork(4),
                 Some(node_master.fork(3)),
+                node_master.fork(6),
+                window,
             ));
         }
     }
@@ -395,6 +545,20 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
     // Runs drain in-flight requests after the send window closes, with a
     // hard horizon to bound pathological backlogs.
     let horizon = window_end + topo.duration + SimDuration::from_secs(5);
+
+    // Phase boundaries of dynamic nodes become first-class events, so a
+    // regime switch interleaves deterministically with the request flow
+    // (boundaries during the drain still apply: in-flight responses land
+    // on the machine state of the moment).
+    for (node, st) in states.iter().enumerate() {
+        if let Some(dy) = st.dynamics {
+            for (k, &boundary) in dy.schedule.boundaries().iter().enumerate() {
+                if boundary <= horizon {
+                    queue.schedule(boundary, Event::PhaseStart { node: node as u16, phase: (k + 1) as u16 });
+                }
+            }
+        }
+    }
 
     let mut hist = LatencyHistogram::new();
 
@@ -476,7 +640,7 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
                 if r.stamp >= window_start && r.stamp < window_end {
                     st.inflight_measured -= 1;
                     hist.record(measured);
-                    collector.on_latency(r.node as usize, measured);
+                    collector.on_latency(r.node as usize, r.stamp, measured);
                 }
                 if st.loop_mode == LoopMode::Closed {
                     let next = recv.app + st.think_time;
@@ -484,6 +648,9 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
                         queue.schedule(next, Event::SendDue { node: r.node, conn: r.conn });
                     }
                 }
+            }
+            Event::PhaseStart { node, phase } => {
+                states[node as usize].enter_phase(phase as usize);
             }
         }
     }
@@ -516,7 +683,7 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
                 energy_core_secs: node_energy,
                 sends,
                 truncated_inflight: st.inflight_measured,
-                target_qps: st.qps,
+                target_qps: st.target_qps,
                 measured: measured_dur,
             },
         );
@@ -525,7 +692,9 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
     RunResult::from_histogram(
         &hist,
         measured_dur,
-        topo.total_qps(),
+        // Time-averaged over any phased rates; bit-identical to
+        // `total_qps` for static topologies.
+        topo.offered_qps(),
         tpv_loadgen::SendStats { late_sends, total_sends, total_slip },
         wakes,
         // Order-independent: permuting the fleet declaration must not

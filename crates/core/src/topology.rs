@@ -24,13 +24,131 @@
 //! [`FleetResult`]: the familiar aggregate [`RunResult`] plus one
 //! [`NodeResult`] per client node.
 
-use tpv_hw::MachineConfig;
-use tpv_loadgen::GeneratorSpec;
+use tpv_hw::{DynamicMachine, MachineConfig};
+use tpv_loadgen::{GeneratorSpec, PhasedRate};
 use tpv_net::LinkConfig;
 use tpv_services::ServiceConfig;
-use tpv_sim::SimDuration;
+use tpv_sim::{PhaseSchedule, SimDuration, SimTime};
 
 use crate::runtime::{RunResult, RunSpec};
+
+/// Phase-scheduled, time-varying behaviour of one client node: at every
+/// boundary of one shared [`PhaseSchedule`] the node's effective machine
+/// configuration, its offered rate and/or its link may switch.
+///
+/// Everything is optional: a `NodeDynamics` with only a rate models
+/// diurnal load on fixed hardware; only machines models turbo-budget
+/// decay under steady load. A dynamics whose schedule is
+/// [`PhaseSchedule::single`] (or whose per-phase values never change) is
+/// behaviourally a static node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeDynamics {
+    /// The boundaries at which this node's behaviour may switch.
+    pub schedule: PhaseSchedule,
+    /// Per-phase machine configuration (the node's
+    /// [`ClientNode::machine`] is ignored when present). `None` = the
+    /// machine is static.
+    pub machine: Option<DynamicMachine>,
+    /// Per-phase multiplier over the node's base [`ClientNode::qps`].
+    /// `None` = constant load. Requires an open-loop generator — closed
+    /// loops pace by think time, so a rate plan could not change the
+    /// offered load it claims to (the runtime rejects the combination).
+    pub rate: Option<PhasedRate>,
+    /// Per-phase link configuration (one per phase; the node's
+    /// [`ClientNode::link`] is ignored when present). `None` = the link
+    /// is static.
+    pub links: Option<Vec<LinkConfig>>,
+}
+
+impl NodeDynamics {
+    /// Dynamics over `schedule` with nothing changing yet; chain the
+    /// `with_*` builders to add time-varying aspects.
+    pub fn new(schedule: PhaseSchedule) -> Self {
+        NodeDynamics { schedule, machine: None, rate: None, links: None }
+    }
+
+    /// Sets one machine configuration per phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `configs.len()` matches the schedule's phase count.
+    pub fn with_machines(mut self, configs: Vec<MachineConfig>) -> Self {
+        self.machine = Some(DynamicMachine::new(self.schedule.clone(), configs));
+        self
+    }
+
+    /// Sets a pre-built machine plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the plan follows this dynamics' schedule.
+    pub fn with_machine_plan(mut self, plan: DynamicMachine) -> Self {
+        assert_eq!(*plan.schedule(), self.schedule, "machine plan must follow the node's schedule");
+        self.machine = Some(plan);
+        self
+    }
+
+    /// Sets one rate multiplier per phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `multipliers.len()` matches the schedule's phase
+    /// count and every multiplier is positive.
+    pub fn with_rates(mut self, multipliers: Vec<f64>) -> Self {
+        self.rate = Some(PhasedRate::new(self.schedule.clone(), multipliers));
+        self
+    }
+
+    /// Sets a pre-built phased rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate follows this dynamics' schedule.
+    pub fn with_rate_plan(mut self, rate: PhasedRate) -> Self {
+        assert_eq!(*rate.schedule(), self.schedule, "rate plan must follow the node's schedule");
+        self.rate = Some(rate);
+        self
+    }
+
+    /// Sets one link configuration per phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `links.len()` matches the schedule's phase count.
+    pub fn with_links(mut self, links: Vec<LinkConfig>) -> Self {
+        assert_eq!(links.len(), self.schedule.phase_count(), "node dynamics needs one link per phase");
+        self.links = Some(links);
+        self
+    }
+
+    /// Checks the per-phase vectors against the schedule — the runtime
+    /// calls this once per run so hand-assembled dynamics fail loudly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any phase-count mismatch.
+    pub fn validate(&self) {
+        let phases = self.schedule.phase_count();
+        if let Some(machine) = &self.machine {
+            assert_eq!(*machine.schedule(), self.schedule, "machine plan must follow the node's schedule");
+        }
+        if let Some(rate) = &self.rate {
+            assert_eq!(*rate.schedule(), self.schedule, "rate plan must follow the node's schedule");
+        }
+        if let Some(links) = &self.links {
+            assert_eq!(links.len(), phases, "node dynamics needs one link per phase");
+        }
+    }
+
+    /// Time-weighted mean rate multiplier over `[start, end)` — `1.0`
+    /// (exactly) when no rate plan is attached.
+    pub fn mean_rate_multiplier(&self, start: SimTime, end: SimTime) -> f64 {
+        match &self.rate {
+            Some(rate) => rate.mean_multiplier(start, end),
+            None => 1.0,
+        }
+    }
+}
 
 /// One load-generating client machine of a topology.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,20 +158,27 @@ pub struct ClientNode {
     /// with distinct labels draw independent randomness.
     pub label: String,
     /// The node's hardware configuration — the paper's variable under
-    /// study, now settable per fleet member.
+    /// study, now settable per fleet member. When [`ClientNode::dynamics`]
+    /// carries a machine plan, that plan's per-phase configurations are
+    /// in effect instead.
     pub machine: MachineConfig,
     /// The generator deployment running on this node.
     pub generator: GeneratorSpec,
     /// The network path from this node to the server (per-pair: nodes on
     /// another rack model a longer path via
-    /// [`tpv_net::LinkConfig::cross_rack`]).
+    /// [`tpv_net::LinkConfig::cross_rack`]). When [`ClientNode::dynamics`]
+    /// carries per-phase links, those are in effect instead.
     pub link: LinkConfig,
-    /// Offered load from this node, in queries per second.
+    /// Offered load from this node, in queries per second (scaled per
+    /// phase by [`ClientNode::dynamics`]' rate plan when present).
     pub qps: f64,
+    /// Phase-scheduled time-varying behaviour. `None` — the common case —
+    /// is a fully static node, bit-identical to the pre-phase testbed.
+    pub dynamics: Option<NodeDynamics>,
 }
 
 impl ClientNode {
-    /// A node with every knob explicit.
+    /// A static node with every knob explicit.
     pub fn new(
         label: impl Into<String>,
         machine: MachineConfig,
@@ -61,13 +186,29 @@ impl ClientNode {
         link: LinkConfig,
         qps: f64,
     ) -> Self {
-        ClientNode { label: label.into(), machine, generator, link, qps }
+        ClientNode { label: label.into(), machine, generator, link, qps, dynamics: None }
     }
 
-    /// Stable content hash of this node (label, machine, generator, link
-    /// and load) — the basis of its content-addressed randomness.
+    /// Returns a copy with phase-scheduled dynamics attached. The
+    /// dynamics participate in the node's content identity, so a dynamic
+    /// node and its static twin draw independent randomness.
+    pub fn with_dynamics(mut self, dynamics: NodeDynamics) -> Self {
+        self.dynamics = Some(dynamics);
+        self
+    }
+
+    /// Stable content hash of this node (label, machine, generator, link,
+    /// load and dynamics) — the basis of its content-addressed
+    /// randomness.
     pub fn content_key(&self) -> u64 {
         crate::engine::fnv64_debug(self)
+    }
+
+    /// The machine configuration in effect at the start of a run: phase 0
+    /// of the dynamics' machine plan when present, the static
+    /// [`ClientNode::machine`] otherwise.
+    pub fn initial_machine(&self) -> &MachineConfig {
+        self.dynamics.as_ref().and_then(|dy| dy.machine.as_ref()).map_or(&self.machine, |plan| plan.config(0))
     }
 }
 
@@ -141,14 +282,43 @@ pub(crate) fn stable_sum(mut values: Vec<f64>) -> f64 {
 }
 
 impl TopologySpec<'_> {
-    /// Total offered load across the fleet (order-independent).
+    /// Total *base* offered load across the fleet (order-independent),
+    /// ignoring any phased rate plans.
     pub fn total_qps(&self) -> f64 {
         stable_sum(self.nodes.iter().map(|n| n.qps).collect())
+    }
+
+    /// Effective offered load across the fleet over the measurement
+    /// window: each node's base load weighted by its time-averaged rate
+    /// multiplier. Bit-identical to [`TopologySpec::total_qps`] when no
+    /// node carries a rate plan.
+    pub fn offered_qps(&self) -> f64 {
+        let start = SimTime::ZERO + self.warmup;
+        let end = SimTime::ZERO + self.duration;
+        stable_sum(
+            self.nodes
+                .iter()
+                .map(|n| match &n.dynamics {
+                    Some(dy) => n.qps * dy.mean_rate_multiplier(start, end),
+                    None => n.qps,
+                })
+                .collect(),
+        )
     }
 
     /// Total connections across the fleet.
     pub fn total_connections(&self) -> u32 {
         self.nodes.iter().map(|n| n.generator.connections.max(1)).sum()
+    }
+
+    /// The union of every node's phase boundaries — the finest schedule
+    /// against which per-phase metrics of this topology are well defined.
+    /// The single all-covering phase when no node is dynamic.
+    pub fn merged_schedule(&self) -> PhaseSchedule {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.dynamics.as_ref())
+            .fold(PhaseSchedule::single(), |acc, dy| acc.merged(&dy.schedule))
     }
 }
 

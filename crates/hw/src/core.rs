@@ -115,6 +115,23 @@ impl CoreResource {
         self.active_cores_estimate = active.max(1);
     }
 
+    /// Swaps this core's machine configuration and run environment
+    /// mid-run — what a [`crate::DynamicMachine`] phase boundary does to
+    /// every core of a node.
+    ///
+    /// Queue state and all accumulated statistics (busy time, wakes,
+    /// idle residency, energy) survive: the machine changed, the work
+    /// history did not. The governor's idle-interval history also
+    /// survives — the OS keeps it across policy switches. Idle residency
+    /// accrued before the switch is priced by the *new* C-state table in
+    /// [`CoreResource::energy_core_secs`], an approximation that is exact
+    /// whenever the phases share a processor (they model one physical
+    /// machine, so they should).
+    pub fn reconfigure(&mut self, config: &MachineConfig, env: &RunEnvironment) {
+        self.config = *config;
+        self.env = *env;
+    }
+
     /// Places `work` (expressed at nominal frequency) on this core at
     /// `now`, paying any wake path first.
     pub fn acquire(&mut self, now: SimTime, work: SimDuration, rng: &mut SimRng) -> CoreGrant {
@@ -479,6 +496,33 @@ mod tests {
         let late = core.energy_core_secs(SimTime::from_ms(20));
         assert!(early >= 0.009, "busy work must count: {early}");
         assert!(late > early, "trailing idle must count");
+    }
+
+    #[test]
+    fn reconfigure_changes_the_wake_path_but_keeps_history() {
+        let mut r = rng();
+        let env = RunEnvironment::neutral();
+        let mut core = CoreResource::new(&MachineConfig::high_performance(), &env);
+        let mut t = SimTime::ZERO;
+        for _ in 0..20 {
+            t += SimDuration::from_ms(2);
+            core.acquire(t, SimDuration::from_us(2), &mut r);
+        }
+        let items_before = core.items();
+        let busy_before = core.busy_time();
+        assert_eq!(core.wakes_by_state()[3], 0, "HP never sleeps to C6");
+
+        // Power budget exhausted: deep idle re-enabled mid-run.
+        let lp = MachineConfig::low_power();
+        core.reconfigure(&lp, &env);
+        assert_eq!(core.items(), items_before, "history survives reconfiguration");
+        assert_eq!(core.busy_time(), busy_before);
+        for _ in 0..50 {
+            t += SimDuration::from_ms(10);
+            core.acquire(t, SimDuration::from_us(2), &mut r);
+        }
+        assert!(core.wakes_by_state()[3] > 0, "post-switch wakes come from deep states");
+        assert_eq!(core.items(), items_before + 50);
     }
 
     #[test]

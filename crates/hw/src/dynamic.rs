@@ -1,0 +1,128 @@
+//! Time-varying machine state: a hardware configuration per phase.
+//!
+//! The paper's knobs are static per run, but on real machines they are
+//! not static over a run's lifetime: turbo/power budgets exhaust and the
+//! platform falls back to nominal frequency, governors ramp up or re-arm
+//! deep idle once power capping kicks in, firmware flips policies under
+//! thermal pressure. A [`DynamicMachine`] expresses that as one
+//! [`MachineConfig`] per phase of a [`PhaseSchedule`]: given a timestamp,
+//! it resolves the configuration in effect — the testbed's kernel swaps a
+//! node's effective hardware state at every boundary.
+//!
+//! A `DynamicMachine` built with [`DynamicMachine::fixed`] (or whose
+//! per-phase configs are all equal) is exactly a static machine.
+
+use serde::{Deserialize, Serialize};
+use tpv_sim::{PhaseSchedule, SimTime};
+
+use crate::machine::MachineConfig;
+
+/// A machine whose effective configuration is a function of time: one
+/// [`MachineConfig`] per phase of a shared [`PhaseSchedule`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicMachine {
+    schedule: PhaseSchedule,
+    configs: Vec<MachineConfig>,
+}
+
+impl DynamicMachine {
+    /// A machine that never changes — the degenerate single-phase plan.
+    pub fn fixed(config: MachineConfig) -> Self {
+        DynamicMachine { schedule: PhaseSchedule::single(), configs: vec![config] }
+    }
+
+    /// A machine following `configs[i]` during phase `i` of `schedule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `configs.len() == schedule.phase_count()`.
+    pub fn new(schedule: PhaseSchedule, configs: Vec<MachineConfig>) -> Self {
+        assert_eq!(configs.len(), schedule.phase_count(), "dynamic machine needs one config per phase");
+        DynamicMachine { schedule, configs }
+    }
+
+    /// Turbo-budget exhaustion: `base` runs with its configured turbo
+    /// until `exhausted_at`, then turbo is off for the rest of the run —
+    /// the simplest sustained-load frequency decay.
+    pub fn turbo_decay(base: MachineConfig, exhausted_at: SimTime) -> Self {
+        DynamicMachine::new(PhaseSchedule::new(vec![exhausted_at]), vec![base, base.with_turbo(false)])
+    }
+
+    /// The phase schedule this plan follows.
+    pub fn schedule(&self) -> &PhaseSchedule {
+        &self.schedule
+    }
+
+    /// The configuration in effect during `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase` is out of range.
+    pub fn config(&self, phase: usize) -> &MachineConfig {
+        &self.configs[phase]
+    }
+
+    /// The configuration in effect at instant `t`.
+    pub fn at(&self, t: SimTime) -> &MachineConfig {
+        &self.configs[self.schedule.phase_at(t)]
+    }
+
+    /// True when no boundary actually changes the configuration — the
+    /// machine is (perhaps redundantly described but) static.
+    pub fn is_static(&self) -> bool {
+        self.configs.windows(2).all(|pair| pair[0] == pair[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpv_sim::SimDuration;
+
+    #[test]
+    fn fixed_machine_is_static_everywhere() {
+        let m = DynamicMachine::fixed(MachineConfig::high_performance());
+        assert!(m.is_static());
+        assert_eq!(*m.at(SimTime::ZERO), MachineConfig::high_performance());
+        assert_eq!(*m.at(SimTime::from_secs(100)), MachineConfig::high_performance());
+        assert_eq!(m.schedule().phase_count(), 1);
+    }
+
+    #[test]
+    fn resolution_follows_the_schedule() {
+        let s = PhaseSchedule::stepped(SimDuration::from_ms(10), 2);
+        let m = DynamicMachine::new(s, vec![MachineConfig::high_performance(), MachineConfig::low_power()]);
+        assert!(!m.is_static());
+        assert_eq!(*m.at(SimTime::from_ms(9)), MachineConfig::high_performance());
+        assert_eq!(*m.at(SimTime::from_ms(10)), MachineConfig::low_power());
+        assert_eq!(*m.config(0), MachineConfig::high_performance());
+        assert_eq!(*m.config(1), MachineConfig::low_power());
+    }
+
+    #[test]
+    fn turbo_decay_flips_exactly_turbo() {
+        let base = MachineConfig::high_performance();
+        let m = DynamicMachine::turbo_decay(base, SimTime::from_ms(50));
+        assert!(m.at(SimTime::from_ms(49)).turbo.enabled);
+        let after = m.at(SimTime::from_ms(50));
+        assert!(!after.turbo.enabled);
+        assert_eq!(after.cstates, base.cstates);
+        assert_eq!(after.dvfs, base.dvfs);
+    }
+
+    #[test]
+    fn equal_configs_count_as_static() {
+        let s = PhaseSchedule::stepped(SimDuration::from_ms(5), 3);
+        let hp = MachineConfig::high_performance();
+        assert!(DynamicMachine::new(s, vec![hp, hp, hp]).is_static());
+    }
+
+    #[test]
+    #[should_panic(expected = "one config per phase")]
+    fn mismatched_lengths_rejected() {
+        DynamicMachine::new(
+            PhaseSchedule::stepped(SimDuration::from_ms(5), 3),
+            vec![MachineConfig::high_performance()],
+        );
+    }
+}

@@ -44,6 +44,7 @@
 pub mod core;
 pub mod cstate;
 pub mod dvfs;
+pub mod dynamic;
 pub mod env;
 pub mod machine;
 pub mod smt;
@@ -55,6 +56,7 @@ pub mod uncore;
 pub use crate::core::{CoreGrant, CoreResource};
 pub use cstate::{CState, CStatePolicy, CStateTable};
 pub use dvfs::{FreqDriver, FreqGovernor};
+pub use dynamic::DynamicMachine;
 pub use env::RunEnvironment;
 pub use machine::MachineConfig;
 pub use smt::SmtConfig;

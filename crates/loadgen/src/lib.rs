@@ -41,6 +41,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod rate;
+
+pub use rate::PhasedRate;
+
 use serde::{Deserialize, Serialize};
 use tpv_hw::{CoreResource, MachineConfig, RunEnvironment};
 use tpv_net::StackCosts;
@@ -327,6 +331,17 @@ impl ClientSide {
         &self.spec
     }
 
+    /// Swaps the client machine's configuration and run environment under
+    /// every generator thread mid-run — a [`tpv_hw::DynamicMachine`]
+    /// phase boundary. The generator software and all its counters
+    /// (sends, slips, wakes, energy) carry across: the machine changed
+    /// state, the workload generator did not restart.
+    pub fn reconfigure(&mut self, machine: &MachineConfig, env: &tpv_hw::RunEnvironment) {
+        for thread in &mut self.threads {
+            thread.reconfigure(machine, env);
+        }
+    }
+
     /// The thread a connection is owned by.
     pub fn thread_of(&self, conn: usize) -> usize {
         conn % self.threads.len()
@@ -598,6 +613,29 @@ mod tests {
         let e_lp = lp.energy_core_secs(horizon);
         let e_hp = hp.energy_core_secs(horizon);
         assert!(e_hp > 1.5 * e_lp, "HP (poll) {e_hp} !>> LP {e_lp}");
+    }
+
+    #[test]
+    fn reconfigure_to_lp_slips_subsequent_sends() {
+        let (mut client, mut rng) = hp_client(GeneratorSpec::mutilate(), 11);
+        for i in 1..=5u64 {
+            client.plan_send(0, SimTime::from_ms(10 * i), &mut rng);
+        }
+        let hp_slip = client.mean_send_slip();
+        assert!(hp_slip < SimDuration::from_us(10));
+        let before = client.send_stats();
+
+        // Mid-run the machine falls back to deep idle states.
+        let lp = MachineConfig::low_power();
+        let env = lp.draw_environment(&mut rng);
+        client.reconfigure(&lp, &env);
+        assert_eq!(client.send_stats(), before, "counters survive reconfiguration");
+        let plan = client.plan_send(0, SimTime::from_ms(100), &mut rng);
+        assert!(
+            plan.wire >= SimTime::from_ms(100) + SimDuration::from_us(50),
+            "post-switch send must pay the deep wake path, wire {}",
+            plan.wire
+        );
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //!   as dedicated newtypes so wall-clock and simulated time can never be
 //!   confused ([C-NEWTYPE]).
 //! * [`EventQueue`] — a deterministic, total-ordered pending-event set.
+//! * [`PhaseSchedule`] — deterministic partitions of a run into time
+//!   phases, the substrate of every time-varying machine/load model.
 //! * [`rng`] — a self-contained, seedable, splittable pseudo-random number
 //!   generator (xoshiro256++), implemented here so that simulation results
 //!   are reproducible across platforms and dependency upgrades.
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod event;
+mod phase;
 mod slab;
 mod time;
 
@@ -49,6 +52,7 @@ pub mod welford;
 pub use event::EventQueue;
 pub use hist::LatencyHistogram;
 pub use lindley::FifoResource;
+pub use phase::PhaseSchedule;
 pub use rng::SimRng;
 pub use slab::Slab;
 pub use time::{SimDuration, SimTime};

@@ -19,13 +19,29 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
 }
 
-/// Coefficient of variation, `std_dev / mean`. Returns 0 if the mean is 0.
+/// The finite values of `xs`, sorted ascending — the edge-case guard
+/// shared by [`median`], [`percentile`] and
+/// [`coefficient_of_variation`]: NaN (and ±∞) samples are *dropped*, not
+/// propagated, so a single poisoned sample cannot silently turn these
+/// three summary statistics into NaN or a panic. (The guard is local to
+/// them: [`sorted`] keeps its documented panic-on-NaN contract, and
+/// [`mean`]/[`std_dev`] still propagate NaN like every float sum.)
+fn finite_sorted(xs: &[f64]) -> Vec<f64> {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    v.sort_by(f64::total_cmp);
+    v
+}
+
+/// Coefficient of variation, `std_dev / mean`, over the finite samples.
+/// Returns 0 for empty or single-element input and when the mean is 0
+/// (a CoV of a degenerate sample set carries no information).
 pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
-    let m = mean(xs);
+    let v = finite_sorted(xs);
+    let m = mean(&v);
     if m == 0.0 {
         0.0
     } else {
-        std_dev(xs) / m
+        std_dev(&v) / m
     }
 }
 
@@ -40,13 +56,14 @@ pub fn sorted(xs: &[f64]) -> Vec<f64> {
     v
 }
 
-/// Median of the samples (mean of the two central order statistics for
-/// even n). Returns 0 for an empty slice.
+/// Median of the finite samples (mean of the two central order
+/// statistics for even n). Returns 0 when no finite sample remains —
+/// non-finite values are dropped, never propagated.
 pub fn median(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
+    let v = finite_sorted(xs);
+    if v.is_empty() {
         return 0.0;
     }
-    let v = sorted(xs);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -55,15 +72,22 @@ pub fn median(xs: &[f64]) -> f64 {
     }
 }
 
-/// The `p`-th percentile (nearest-rank on the sorted samples).
+/// The `p`-th percentile (nearest-rank on the sorted finite samples).
+/// Returns 0 when no finite sample remains — non-finite values are
+/// dropped, never propagated, and an empty sample set is reported as 0
+/// rather than a panic so a single starved cell cannot abort a whole
+/// report.
 ///
 /// # Panics
 ///
-/// Panics if `p` is outside `[0, 100]` or the slice is empty.
+/// Panics if `p` is outside `[0, 100]` (a caller bug, unlike empty
+/// data).
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-    assert!(!xs.is_empty(), "percentile of empty sample set");
-    let v = sorted(xs);
+    let v = finite_sorted(xs);
+    if v.is_empty() {
+        return 0.0;
+    }
     let rank = ((p / 100.0) * v.len() as f64).ceil().max(1.0) as usize;
     v[rank.min(v.len()) - 1]
 }
@@ -136,9 +160,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn percentile_empty_panics() {
-        percentile(&[], 50.0);
+    fn empty_and_single_element_are_total() {
+        // Degenerate inputs answer with the neutral 0 / identity instead
+        // of panicking: a starved cell must not abort a whole report.
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(percentile(&[42.0], 1.0), 42.0);
+        assert_eq!(percentile(&[42.0], 100.0), 42.0);
+        assert_eq!(median(&[42.0]), 42.0);
+        assert_eq!(coefficient_of_variation(&[42.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_out_of_range_panics() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn nan_samples_are_dropped_not_propagated() {
+        let clean = [1.0, 2.0, 3.0, 4.0];
+        let poisoned = [1.0, f64::NAN, 2.0, 3.0, f64::INFINITY, 4.0, f64::NEG_INFINITY];
+        assert_eq!(median(&poisoned), median(&clean));
+        assert_eq!(percentile(&poisoned, 99.0), percentile(&clean, 99.0));
+        assert!((coefficient_of_variation(&poisoned) - coefficient_of_variation(&clean)).abs() < 1e-12);
+        // All-NaN collapses to the empty case, still without panicking.
+        let all_nan = [f64::NAN, f64::NAN];
+        assert_eq!(median(&all_nan), 0.0);
+        assert_eq!(percentile(&all_nan, 50.0), 0.0);
+        assert_eq!(coefficient_of_variation(&all_nan), 0.0);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! `cargo test --test golden_runtime -- --ignored --nocapture`
 //! and paste the printed rows over `GOLDEN`.
 
-use tpv_core::runtime::{run_once, RunResult, RunSpec};
+use tpv_core::runtime::{run_once, run_phased, RunResult, RunSpec};
+use tpv_core::topology::{NodeDynamics, TopologySpec};
 use tpv_hw::{CStatePolicy, MachineConfig};
 use tpv_loadgen::{GeneratorSpec, PointOfMeasurement, TimingMode};
 use tpv_net::LinkConfig;
@@ -21,7 +22,7 @@ use tpv_services::kv::KvConfig;
 use tpv_services::socialnet::SocialConfig;
 use tpv_services::synthetic::SyntheticConfig;
 use tpv_services::{ServiceConfig, ServiceKind};
-use tpv_sim::SimDuration;
+use tpv_sim::{PhaseSchedule, SimDuration, SimTime};
 
 /// One pinned case: a name, the seed, and the bit-exact observation.
 struct Golden {
@@ -195,7 +196,96 @@ fn observe(parts: &Parts, seed: u64) -> [u64; 16] {
     ]
 }
 
-/// Regeneration helper (not part of the suite): prints `GOLDEN` rows.
+/// One pinned phased case: aggregate row in `GOLDEN` format plus
+/// per-phase `(samples, p99 ns)` pairs — a boundary drift in either the
+/// regime bucketing or the dynamic kernel itself trips the pin.
+struct PhasedGolden {
+    name: &'static str,
+    seed: u64,
+    row: [u64; 16],
+    phases: &'static [[u64; 2]],
+}
+
+/// The phased spec shapes under pin: a mid-run machine decay and a
+/// stepped load, both 1-node topologies through the same kernel as the
+/// static pins.
+fn phased_cases() -> Vec<(&'static str, Parts, NodeDynamics)> {
+    let kv = || ServiceConfig::new(ServiceKind::Memcached(KvConfig::default()));
+    let boundary = PhaseSchedule::new(vec![SimTime::from_ms(30)]);
+    vec![
+        (
+            "memcached-decay-flip",
+            Parts {
+                service: kv(),
+                client: MachineConfig::high_performance(),
+                server: MachineConfig::server_baseline(),
+                generator: GeneratorSpec::mutilate(),
+                link: LinkConfig::cloudlab_lan(),
+                qps: 100_000.0,
+            },
+            NodeDynamics::new(boundary.clone())
+                .with_machines(vec![MachineConfig::high_performance(), MachineConfig::low_power()]),
+        ),
+        (
+            "memcached-stepped-load",
+            Parts {
+                service: kv(),
+                client: MachineConfig::high_performance(),
+                server: MachineConfig::server_baseline(),
+                generator: GeneratorSpec::mutilate(),
+                link: LinkConfig::cloudlab_lan(),
+                qps: 100_000.0,
+            },
+            NodeDynamics::new(boundary).with_rates(vec![0.5, 2.0]),
+        ),
+    ]
+}
+
+fn observe_phased(parts: &Parts, dynamics: &NodeDynamics, seed: u64) -> ([u64; 16], Vec<[u64; 2]>) {
+    let spec = RunSpec {
+        service: &parts.service,
+        server: &parts.server,
+        client: &parts.client,
+        generator: &parts.generator,
+        link: &parts.link,
+        qps: parts.qps,
+        duration: SimDuration::from_ms(60),
+        warmup: SimDuration::from_ms(6),
+    };
+    let nodes = [spec.client_node().with_dynamics(dynamics.clone())];
+    let topo = TopologySpec {
+        service: &parts.service,
+        server: &parts.server,
+        nodes: &nodes,
+        duration: spec.duration,
+        warmup: spec.warmup,
+    };
+    let phased = run_phased(&topo, seed);
+    let r = &phased.fleet.aggregate;
+    let row = [
+        r.avg.as_ns(),
+        r.p50.as_ns(),
+        r.p99.as_ns(),
+        r.max.as_ns(),
+        r.std_dev.as_ns(),
+        r.samples,
+        r.achieved_qps.to_bits(),
+        r.target_qps.to_bits(),
+        r.late_send_fraction.to_bits(),
+        r.mean_send_slip.as_ns(),
+        r.client_wakes[0],
+        r.client_wakes[1],
+        r.client_wakes[2],
+        r.client_wakes[3],
+        r.client_energy_core_secs.to_bits(),
+        r.truncated_inflight,
+    ];
+    let phases = phased.phases.iter().map(|p| [p.samples, p.p99.as_ns()]).collect();
+    (row, phases)
+}
+
+/// Regeneration helper (not part of the suite): prints `GOLDEN` and
+/// `GOLDEN_PHASED` rows.
 #[test]
 #[ignore = "regeneration helper; run with --ignored --nocapture"]
 fn print_goldens() {
@@ -203,6 +293,15 @@ fn print_goldens() {
         for seed in [2024u64, 7] {
             let row = observe(&parts, seed);
             println!("    Golden {{ name: \"{name}\", seed: {seed}, row: {row:?} }},");
+        }
+    }
+    println!();
+    for (name, parts, dynamics) in phased_cases() {
+        for seed in [2024u64, 7] {
+            let (row, phases) = observe_phased(&parts, &dynamics, seed);
+            println!(
+                "    PhasedGolden {{ name: \"{name}\", seed: {seed}, row: {row:?}, phases: &{phases:?} }},"
+            );
         }
     }
 }
@@ -228,6 +327,59 @@ const GOLDEN: &[Golden] = &[
     Golden { name: "memcached-lp-busywait-kernel", seed: 2024, row: [43602, 42495, 76799, 184941, 8018, 5431, 4681647810954152922, 4681608360884174848, 0, 2000, 451, 1923, 2647, 227, 4608819955447092279, 0] },
     Golden { name: "memcached-lp-busywait-kernel", seed: 7, row: [43487, 42495, 68607, 225961, 8195, 5374, 4681575273728709367, 4681608360884174848, 0, 2000, 219, 1472, 3050, 413, 4608501208356957412, 0] },
 ];
+
+#[rustfmt::skip]
+const GOLDEN_PHASED: &[PhasedGolden] = &[
+    PhasedGolden { name: "memcached-decay-flip", seed: 2024, row: [67785, 65023, 212991, 270453, 28207, 5422, 4681636357708030255, 4681608360884174848, 4602272902627285229, 26343, 6571, 1711, 2492, 223, 4611593517344072078, 0], phases: &[[2465, 81919], [2957, 221183]] },
+    PhasedGolden { name: "memcached-decay-flip", seed: 7, row: [68549, 74751, 114687, 246024, 20502, 5370, 4681570183397099293, 4681608360884174848, 4602271503387232917, 25555, 7669, 2152, 1015, 23, 4612152572003233518, 0], phases: &[[2418, 65535], [2952, 169983]] },
+    PhasedGolden { name: "memcached-stepped-load", seed: 2024, row: [51501, 50175, 84991, 256161, 9666, 6752, 4683328892968379885, 4683821311287012011, 4568641754946632713, 3530, 13842, 0, 0, 0, 4612650086368026567, 0], phases: &[[1212, 74751], [5540, 84991]] },
+    PhasedGolden { name: "memcached-stepped-load", seed: 7, row: [51065, 50175, 74751, 175549, 6960, 6758, 4683336528465794996, 4683821311287012011, 4571820073743848177, 3507, 13911, 0, 0, 0, 4612649697189464766, 0], phases: &[[1173, 68607], [5585, 75775]] },
+];
+
+/// A trivial all-covering phase schedule must reproduce the static
+/// `run_once` pins bit for bit — the phase layer's central invariant,
+/// checked against the same `GOLDEN` rows the static kernel is pinned
+/// by.
+#[test]
+fn single_phase_schedule_reproduces_the_static_goldens() {
+    let by_name = cases();
+    for g in GOLDEN.iter().take(4) {
+        let (_, parts) = by_name.iter().find(|(n, _)| *n == g.name).unwrap();
+        let trivial = NodeDynamics::new(PhaseSchedule::single())
+            .with_machines(vec![parts.client])
+            .with_rates(vec![1.0])
+            .with_links(vec![parts.link]);
+        let (row, phases) = observe_phased(parts, &trivial, g.seed);
+        assert_eq!(
+            row, g.row,
+            "{} seed {}: a single-phase schedule drifted from the static pin",
+            g.name, g.seed
+        );
+        assert_eq!(phases.len(), 1, "one phase covers the whole window");
+        assert_eq!(phases[0][0], g.row[5], "the single phase pools every sample");
+    }
+}
+
+#[test]
+fn phased_runs_match_their_pins() {
+    assert!(!GOLDEN_PHASED.is_empty(), "phased golden table must be populated");
+    let by_name = phased_cases();
+    for g in GOLDEN_PHASED {
+        let (_, parts, dynamics) = by_name
+            .iter()
+            .find(|(n, _, _)| *n == g.name)
+            .unwrap_or_else(|| panic!("unknown phased golden case {}", g.name));
+        let (row, phases) = observe_phased(parts, dynamics, g.seed);
+        assert_eq!(row, g.row, "{} seed {} aggregate drifted from the pin", g.name, g.seed);
+        assert_eq!(phases, g.phases, "{} seed {} per-phase stats drifted", g.name, g.seed);
+    }
+    // The pins themselves encode the finding: the decayed second phase
+    // carries a far worse p99, the surged second phase far more samples.
+    let decay = &GOLDEN_PHASED[0];
+    assert!(decay.phases[1][1] > 2 * decay.phases[0][1], "decay pin must show a regime change");
+    let stepped = &GOLDEN_PHASED[2];
+    assert!(stepped.phases[1][0] > 3 * stepped.phases[0][0], "stepped pin must show the load step");
+}
 
 #[test]
 fn one_by_one_topology_matches_pre_refactor_run_once() {

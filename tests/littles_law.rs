@@ -1,8 +1,17 @@
 //! Validates the testbed against Little's law and the paper's synthetic-
 //! workload linearity check ("the response time increases linearly with
-//! the increase of the added delay which validates the implementation").
+//! the increase of the added delay which validates the implementation"),
+//! at three levels: the 1×1 testbed, pooled multi-node fleets, and the
+//! per-phase regimes of a stepped-load dynamic run.
 
+use tpv::core::runtime::{run_phased, run_topology};
+use tpv::core::topology::{uniform_fleet, ClientNode, NodeDynamics, TopologySpec};
+use tpv::loadgen::GeneratorSpec;
+use tpv::net::LinkConfig;
 use tpv::prelude::*;
+use tpv::services::kv::KvConfig;
+use tpv::services::{ServiceConfig, ServiceKind};
+use tpv::sim::{PhaseSchedule, SimTime};
 use tpv::stats::desc::littles_law_concurrency;
 
 fn synthetic_avg_us(delay_us: u64, qps: f64, seed: u64) -> (f64, f64) {
@@ -54,4 +63,95 @@ fn achieved_rate_tracks_offered_rate_when_unsaturated() {
     let (_, achieved) = synthetic_avg_us(100, 10_000.0, 42);
     let ratio = achieved / 10_000.0;
     assert!((0.9..1.1).contains(&ratio), "achieved/offered = {ratio:.3}");
+}
+
+fn kv_service() -> ServiceConfig {
+    ServiceConfig::without_interference(ServiceKind::Memcached(KvConfig::default()))
+}
+
+/// Pooling a fleet must conserve Little's law: the pooled concurrency
+/// `λ_pooled · W_pooled` equals the sum of per-node `λ_i · W_i` (mean
+/// concurrency is additive across independent request streams).
+#[test]
+fn fleet_pooling_conserves_littles_law() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let nodes = uniform_fleet(
+        "agent",
+        MachineConfig::high_performance(),
+        GeneratorSpec::mutilate(),
+        LinkConfig::cloudlab_lan(),
+        120_000.0,
+        4,
+    );
+    let topo = TopologySpec {
+        service: &service,
+        server: &server,
+        nodes: &nodes,
+        duration: SimDuration::from_ms(80),
+        warmup: SimDuration::from_ms(8),
+    };
+    let fleet = run_topology(&topo, 11);
+    let agg = &fleet.aggregate;
+    let pooled_l = littles_law_concurrency(agg.achieved_qps, agg.avg.as_secs());
+    let summed_l: f64 = fleet
+        .nodes
+        .iter()
+        .map(|n| littles_law_concurrency(n.result.achieved_qps, n.result.avg.as_secs()))
+        .sum();
+    assert!(pooled_l > 1.0, "the fleet must hold real concurrency, got {pooled_l:.2}");
+    let rel = (pooled_l - summed_l).abs() / summed_l;
+    assert!(rel < 0.02, "pooled L {pooled_l:.3} vs per-node sum {summed_l:.3} ({rel:.3} off)");
+    // Sanity: every node achieved its share of the offered load.
+    for n in &fleet.nodes {
+        let ratio = n.result.achieved_qps / n.result.target_qps;
+        assert!((0.85..1.15).contains(&ratio), "{}: achieved/target {ratio:.3}", n.label);
+    }
+}
+
+/// Per-phase conformance: in a stepped-load run each phase obeys
+/// `L = λ·W` with its *own* rate, so the high-load phase holds
+/// proportionally more concurrency than the low-load phase.
+#[test]
+fn stepped_load_phases_obey_littles_law_per_phase() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let duration = SimDuration::from_ms(80);
+    let dynamics =
+        NodeDynamics::new(PhaseSchedule::new(vec![SimTime::from_ms(40)])).with_rates(vec![0.5, 2.0]);
+    let nodes = [ClientNode::new(
+        "stepped",
+        MachineConfig::high_performance(),
+        GeneratorSpec::mutilate(),
+        LinkConfig::cloudlab_lan(),
+        100_000.0,
+    )
+    .with_dynamics(dynamics)];
+    let topo = TopologySpec {
+        service: &service,
+        server: &server,
+        nodes: &nodes,
+        duration,
+        warmup: SimDuration::from_ms(8),
+    };
+    let phased = run_phased(&topo, 29);
+    let low = phased.phase(0).unwrap();
+    let high = phased.phase(1).unwrap();
+    // Each phase achieves its own offered rate...
+    assert!((low.achieved_qps / 50_000.0 - 1.0).abs() < 0.1, "low {:.0}", low.achieved_qps);
+    assert!((high.achieved_qps / 200_000.0 - 1.0).abs() < 0.1, "high {:.0}", high.achieved_qps);
+    // ...and holds the concurrency Little's law predicts for it.
+    let l_low = littles_law_concurrency(low.achieved_qps, low.avg.as_secs());
+    let l_high = littles_law_concurrency(high.achieved_qps, high.avg.as_secs());
+    let rate_ratio = high.achieved_qps / low.achieved_qps;
+    let l_ratio = l_high / l_low;
+    assert!(
+        l_ratio >= rate_ratio * 0.9,
+        "4x the arrival rate must hold at least ~4x the concurrency: L ratio {l_ratio:.2}, rate ratio {rate_ratio:.2}"
+    );
+    // The whole-run aggregate blends the two regimes: its concurrency
+    // sits strictly between the per-phase extremes.
+    let agg = &phased.fleet.aggregate;
+    let l_agg = littles_law_concurrency(agg.achieved_qps, agg.avg.as_secs());
+    assert!(l_low < l_agg && l_agg < l_high, "blend {l_agg:.2} outside ({l_low:.2}, {l_high:.2})");
 }

@@ -1,0 +1,91 @@
+//! Property tests for `tpv-stats`: invariants of the descriptive and
+//! inferential statistics that must hold for arbitrary sample sets, not
+//! just the hand-picked vectors of the unit tests. Checked with
+//! `support/proptest` (deterministic inputs; swap the path dependency
+//! for the real crate to get shrinking).
+
+use proptest::prelude::*;
+use tpv::sim::SimRng;
+use tpv::stats::bootstrap::bootstrap_ci;
+use tpv::stats::desc;
+use tpv::stats::mannwhitney::mann_whitney_u;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `percentile` is monotone in `p` and bracketed by the sample
+    /// min/max for any non-empty sample set.
+    #[test]
+    fn percentile_is_monotone_in_p_and_bounded(
+        xs in prop::collection::vec(-1e9f64..1e9, 1..300),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = desc::percentile(&xs, lo);
+        let b = desc::percentile(&xs, hi);
+        prop_assert!(a <= b, "p{lo} = {a} !<= p{hi} = {b}");
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(min <= a && b <= max, "percentiles escaped [{min}, {max}]");
+        // The extreme ranks are exactly the extreme order statistics.
+        prop_assert_eq!(desc::percentile(&xs, 0.0), min);
+        prop_assert_eq!(desc::percentile(&xs, 100.0), max);
+    }
+
+    /// A bootstrap CI always contains the point estimate it was built
+    /// around, for mean and median alike.
+    #[test]
+    fn bootstrap_ci_contains_the_point_estimate(
+        xs in prop::collection::vec(-1e6f64..1e6, 2..100),
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for stat in [desc::mean as fn(&[f64]) -> f64, desc::median] {
+            let ci = bootstrap_ci(&xs, stat, 0.95, 200, &mut rng).expect("n >= 2");
+            let point = stat(&xs);
+            prop_assert!(ci.contains(point), "{point} outside [{}, {}]", ci.low, ci.high);
+            prop_assert!(ci.low <= ci.mid && ci.mid <= ci.high);
+        }
+    }
+
+    /// `mean` is affine-equivariant and `std_dev` translation-invariant
+    /// and absolutely scale-equivariant: `mean(a·x + b) = a·mean(x) + b`,
+    /// `std(a·x + b) = |a|·std(x)`.
+    #[test]
+    fn mean_and_std_dev_respect_affine_transforms(
+        xs in prop::collection::vec(-1e5f64..1e5, 2..200),
+        scale in -50.0f64..50.0,
+        shift in -1e5f64..1e5,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+        let magnitude = xs.iter().fold(0.0f64, |a, x| a.max(x.abs()));
+        let tol = 1e-7 * (magnitude * scale.abs() + shift.abs() + 1.0);
+        let mean_err = (desc::mean(&ys) - (desc::mean(&xs) * scale + shift)).abs();
+        prop_assert!(mean_err < tol, "mean error {mean_err} > {tol}");
+        let std_err = (desc::std_dev(&ys) - desc::std_dev(&xs) * scale.abs()).abs();
+        prop_assert!(std_err < tol, "std error {std_err} > {tol}");
+    }
+
+    /// Mann–Whitney is symmetric under swapping the samples:
+    /// `U1 + U2 = n1·n2`, identical p-values, negated effect size.
+    #[test]
+    fn mann_whitney_is_symmetric_under_swap(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..80),
+        ys in prop::collection::vec(-1e3f64..1e3, 2..80),
+    ) {
+        let forward = mann_whitney_u(&xs, &ys);
+        let backward = mann_whitney_u(&ys, &xs);
+        match (forward, backward) {
+            (Some(a), Some(b)) => {
+                let u_sum = a.u + b.u;
+                let expect = (xs.len() * ys.len()) as f64;
+                prop_assert!((u_sum - expect).abs() < 1e-6, "U1+U2 = {u_sum} != {expect}");
+                prop_assert!((a.p_value - b.p_value).abs() < 1e-9);
+                prop_assert!((a.effect_size + b.effect_size).abs() < 1e-9);
+                prop_assert!(a.differs(0.05) == b.differs(0.05));
+            }
+            (a, b) => prop_assert_eq!(a.is_none(), b.is_none(), "degeneracy must be symmetric"),
+        }
+    }
+}
