@@ -1,0 +1,297 @@
+//! `perf_probe`: times the topology kernel over a fixed scenario matrix
+//! and writes a machine-readable `BENCH.json`.
+//!
+//! Three scenarios cover the kernel's load-bearing shapes:
+//!
+//! * `static_1x1` — the paper's testbed: one HP memcached client at
+//!   100K QPS (the `run_once` fast path).
+//! * `fleet_16` — a 16-node HP fleet, 100K QPS per node: the
+//!   multi-node hot loop the studies sweep (and the scenario the 1.3x
+//!   speedup target of PR 4 is defined on).
+//! * `diurnal_8` — an 8-node fleet under a 6-step diurnal rate plan:
+//!   the phased kernel with per-phase collection.
+//!
+//! Each scenario runs one untimed warm-up plus `--trials` timed trials
+//! of the *same* `(topology, seed)` job, so the work is bit-identical
+//! across trials and the spread (CoV) measures only machine noise.
+//! Events/sec divides the deterministic dispatched-event count by the
+//! median wall time.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_probe [--quick] [--trials N] [--out PATH]
+//!            [--baseline PATH [--max-regression F]]
+//! ```
+//!
+//! With `--baseline`, the fresh report is compared against the given
+//! `bench_baseline.json`: only a median events/sec slowdown worse than
+//! `--max-regression` (default 2.0, deliberately generous — CI runners
+//! are noisy) exits non-zero; smaller slowdowns and work-counter drift
+//! print warnings. See EXPERIMENTS.md for the schema and how to refresh
+//! the baseline.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tpv_bench::perf::{compare, BenchReport, ScenarioReport, Verdict, SCHEMA};
+use tpv_core::collect::{Collector, EventCountCollector, PhaseCollector};
+use tpv_core::runtime::run_collected;
+use tpv_core::topology::{uniform_fleet, ClientNode, NodeDynamics, TopologySpec};
+use tpv_hw::MachineConfig;
+use tpv_loadgen::{GeneratorSpec, PhasedRate};
+use tpv_net::LinkConfig;
+use tpv_services::kv::KvConfig;
+use tpv_services::{ServiceConfig, ServiceKind};
+use tpv_sim::{SimDuration, SimTime};
+
+const SEED: u64 = 2024;
+const DEFAULT_TRIALS: usize = 9;
+const QUICK_TRIALS: usize = 5;
+
+struct Options {
+    quick: bool,
+    trials: usize,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+    max_regression: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        quick: false,
+        trials: 0,
+        out: tpv_bench::results_dir().parent().map(PathBuf::from).unwrap_or_default().join("BENCH.json"),
+        baseline: None,
+        max_regression: 2.0,
+    };
+    let mut explicit_trials = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--trials" => {
+                let v = args.next().ok_or("--trials needs a value")?;
+                explicit_trials = Some(v.parse::<usize>().map_err(|e| format!("--trials: {e}"))?);
+            }
+            "--out" => opts.out = PathBuf::from(args.next().ok_or("--out needs a path")?),
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?))
+            }
+            "--max-regression" => {
+                let v = args.next().ok_or("--max-regression needs a value")?;
+                opts.max_regression = v.parse::<f64>().map_err(|e| format!("--max-regression: {e}"))?;
+                if opts.max_regression.is_nan() || opts.max_regression < 1.0 {
+                    return Err(format!("--max-regression must be >= 1.0, got {}", opts.max_regression));
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "perf_probe [--quick] [--trials N] [--out PATH] [--baseline PATH [--max-regression F]]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    opts.trials = explicit_trials.unwrap_or(if opts.quick { QUICK_TRIALS } else { DEFAULT_TRIALS });
+    if opts.trials == 0 {
+        return Err("--trials must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+/// Times `trials` + 1 executions of `run` (first one untimed warm-up);
+/// `run` returns `(events, requests)`, which must be identical across
+/// trials — the work is deterministic.
+fn time_scenario(name: &str, trials: usize, mut run: impl FnMut() -> (u64, u64)) -> ScenarioReport {
+    let (events, requests) = run(); // warm-up: page in code and allocator arenas
+    let mut wall_ms = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let started = Instant::now();
+        let (e, r) = run();
+        wall_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        assert_eq!((e, r), (events, requests), "{name}: non-deterministic work counters");
+    }
+    let median = tpv_stats::desc::median(&wall_ms);
+    let cov = tpv_stats::desc::coefficient_of_variation(&wall_ms);
+    ScenarioReport {
+        name: name.to_string(),
+        trials,
+        events,
+        requests,
+        wall_ms_median: median,
+        wall_ms_cov: cov,
+        events_per_sec: if median > 0.0 { events as f64 / (median / 1e3) } else { 0.0 },
+    }
+}
+
+fn memcached() -> ServiceConfig {
+    ServiceConfig::new(ServiceKind::Memcached(KvConfig { preload_keys: 10_000, ..KvConfig::default() }))
+}
+
+/// One run of a topology under an event-counting collector, returning
+/// the deterministic work counters.
+fn counted_run<C: Collector>(topo: &TopologySpec<'_>, extra: C) -> (u64, u64) {
+    let mut collector = (EventCountCollector::new(), extra);
+    let result = run_collected(topo, SEED, &mut collector);
+    (collector.0.events(), result.samples)
+}
+
+fn static_1x1(trials: usize) -> ScenarioReport {
+    let service = memcached();
+    let server = MachineConfig::server_baseline();
+    let nodes = [ClientNode::new(
+        "probe",
+        MachineConfig::high_performance(),
+        GeneratorSpec::mutilate(),
+        LinkConfig::cloudlab_lan(),
+        100_000.0,
+    )];
+    let topo = TopologySpec {
+        service: &service,
+        server: &server,
+        nodes: &nodes,
+        duration: SimDuration::from_ms(60),
+        warmup: SimDuration::from_ms(6),
+    };
+    time_scenario("static_1x1", trials, || counted_run(&topo, tpv_core::collect::NullCollector))
+}
+
+fn fleet_16(trials: usize) -> ScenarioReport {
+    let service = memcached();
+    let server = MachineConfig::server_baseline();
+    let nodes = uniform_fleet(
+        "agent",
+        MachineConfig::high_performance(),
+        GeneratorSpec::mutilate(),
+        LinkConfig::cloudlab_lan(),
+        1_600_000.0, // 100K QPS per node
+        16,
+    );
+    let topo = TopologySpec {
+        service: &service,
+        server: &server,
+        nodes: &nodes,
+        duration: SimDuration::from_ms(60),
+        warmup: SimDuration::from_ms(6),
+    };
+    time_scenario("fleet_16", trials, || counted_run(&topo, tpv_core::collect::NullCollector))
+}
+
+fn diurnal_8(trials: usize) -> ScenarioReport {
+    let service = memcached();
+    let server = MachineConfig::server_baseline();
+    let duration = SimDuration::from_ms(60);
+    let rate = PhasedRate::diurnal(duration, 6, 0.6);
+    let dynamics = NodeDynamics::new(rate.schedule().clone()).with_rate_plan(rate);
+    let nodes: Vec<ClientNode> = uniform_fleet(
+        "agent",
+        MachineConfig::high_performance(),
+        GeneratorSpec::mutilate(),
+        LinkConfig::cloudlab_lan(),
+        800_000.0, // 100K QPS per node
+        8,
+    )
+    .into_iter()
+    .map(|n| n.with_dynamics(dynamics.clone()))
+    .collect();
+    let topo = TopologySpec {
+        service: &service,
+        server: &server,
+        nodes: &nodes,
+        duration,
+        warmup: SimDuration::from_ms(6),
+    };
+    time_scenario("diurnal_8", trials, || {
+        let phases = PhaseCollector::new(
+            topo.merged_schedule(),
+            SimTime::ZERO + topo.warmup,
+            SimTime::ZERO + topo.duration,
+        );
+        counted_run(&topo, phases)
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("perf_probe: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("== perf_probe: kernel performance matrix ==");
+    println!(
+        "{} trials per scenario (plus one warm-up), seed {SEED}{}\n",
+        opts.trials,
+        if opts.quick { ", --quick" } else { "" }
+    );
+
+    let scenarios = vec![static_1x1(opts.trials), fleet_16(opts.trials), diurnal_8(opts.trials)];
+
+    println!("| scenario | events/run | requests/run | median wall (ms) | CoV | events/sec |");
+    println!("|---|---|---|---|---|---|");
+    for s in &scenarios {
+        println!(
+            "| {} | {} | {} | {:.2} | {:.3} | {:.2}M |",
+            s.name,
+            s.events,
+            s.requests,
+            s.wall_ms_median,
+            s.wall_ms_cov,
+            s.events_per_sec / 1e6
+        );
+    }
+
+    let report = BenchReport { schema: SCHEMA.to_string(), quick: opts.quick, scenarios };
+    match std::fs::write(&opts.out, report.to_json()) {
+        Ok(()) => println!("\n[json] {}", opts.out.display()),
+        Err(e) => {
+            eprintln!("perf_probe: failed to write {}: {e}", opts.out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let Some(baseline_path) = &opts.baseline else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match std::fs::read_to_string(baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| BenchReport::from_json(&text))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perf_probe: cannot load baseline {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "\n== baseline comparison ({}, fail below 1/{}x) ==",
+        baseline_path.display(),
+        opts.max_regression
+    );
+    let mut failed = false;
+    for verdict in compare(&report, &baseline, opts.max_regression) {
+        match verdict {
+            Verdict::Ok { scenario, speedup } => {
+                println!("  ok    {scenario}: {speedup:.2}x of baseline");
+            }
+            Verdict::Warn { scenario, reason, .. } => {
+                println!("  WARN  {scenario}: {reason}");
+            }
+            Verdict::Fail { scenario, reason, .. } => {
+                failed = true;
+                println!("  FAIL  {scenario}: {reason}");
+            }
+        }
+    }
+    if failed {
+        eprintln!("perf_probe: performance regression beyond the {}x gate", opts.max_regression);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -19,6 +19,7 @@ use tpv_core::experiment::Cell;
 use tpv_core::report::Csv;
 use tpv_sim::SimDuration;
 
+pub mod perf;
 pub(crate) mod studies;
 pub mod study;
 

@@ -1,0 +1,558 @@
+//! The machine-readable kernel performance harness behind `perf_probe`.
+//!
+//! A [`BenchReport`] is the stable schema written to `BENCH.json` and
+//! checked in as `bench_baseline.json`: one [`ScenarioReport`] per probe
+//! scenario with the deterministic work counters (events, requests) and
+//! the wall-clock summary (median + CoV over repeated trials, derived
+//! events/sec). The schema is hand-serialized and hand-parsed here — no
+//! registry JSON crate is available offline — and both directions are
+//! round-trip tested, so CI can diff a fresh probe against the baseline
+//! without shelling out to anything.
+//!
+//! Versioning: bump [`SCHEMA`] whenever a field changes meaning; the
+//! parser rejects reports from a different schema so a stale baseline
+//! fails loudly instead of comparing apples to oranges.
+
+use std::fmt::Write as _;
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "tpv-perf/1";
+
+/// Warn (but do not fail) when events/sec falls below `baseline / WARN`.
+pub const WARN_FACTOR: f64 = 1.25;
+
+/// Wall-clock summary and deterministic work counters of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Stable scenario identifier (`static_1x1`, `fleet_16`, ...).
+    pub name: String,
+    /// Timed trials behind the summary (excludes the warm-up run).
+    pub trials: usize,
+    /// Simulation events dispatched per run — deterministic for a fixed
+    /// `(scenario, seed)`, so a change here means the kernel's *work*
+    /// changed, not just its speed.
+    pub events: u64,
+    /// In-window requests measured per run (same determinism contract).
+    pub requests: u64,
+    /// Median wall-clock time of one run, in milliseconds.
+    pub wall_ms_median: f64,
+    /// Coefficient of variation of the trial wall times (noise gauge).
+    pub wall_ms_cov: f64,
+    /// Events dispatched per wall second, at the median trial.
+    pub events_per_sec: f64,
+}
+
+/// The full probe output: what `BENCH.json` holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// True when the probe ran in `--quick` (CI) mode.
+    pub quick: bool,
+    /// One entry per scenario, in matrix order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty-printed JSON with a stable key
+    /// order, so two reports diff cleanly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", self.schema);
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": \"{}\",", s.name);
+            let _ = writeln!(out, "      \"trials\": {},", s.trials);
+            let _ = writeln!(out, "      \"events\": {},", s.events);
+            let _ = writeln!(out, "      \"requests\": {},", s.requests);
+            let _ = writeln!(out, "      \"wall_ms_median\": {:.4},", s.wall_ms_median);
+            let _ = writeln!(out, "      \"wall_ms_cov\": {:.4},", s.wall_ms_cov);
+            let _ = writeln!(out, "      \"events_per_sec\": {:.1}", s.events_per_sec);
+            out.push_str(if i + 1 == self.scenarios.len() { "    }\n" } else { "    },\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`BenchReport::to_json`].
+    ///
+    /// The parser accepts any whitespace layout but requires the schema
+    /// field to match [`SCHEMA`].
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("top level must be an object")?;
+        let schema = json::get_str(obj, "schema")?;
+        if schema != SCHEMA {
+            return Err(format!("schema mismatch: report is '{schema}', this binary reads '{SCHEMA}'"));
+        }
+        let quick = json::get_bool(obj, "quick")?;
+        let raw = json::get(obj, "scenarios")?.as_array().ok_or("'scenarios' must be an array")?;
+        let mut scenarios = Vec::with_capacity(raw.len());
+        for entry in raw {
+            let s = entry.as_object().ok_or("scenario entries must be objects")?;
+            scenarios.push(ScenarioReport {
+                name: json::get_str(s, "name")?.to_string(),
+                trials: json::get_f64(s, "trials")? as usize,
+                events: json::get_f64(s, "events")? as u64,
+                requests: json::get_f64(s, "requests")? as u64,
+                wall_ms_median: json::get_f64(s, "wall_ms_median")?,
+                wall_ms_cov: json::get_f64(s, "wall_ms_cov")?,
+                events_per_sec: json::get_f64(s, "events_per_sec")?,
+            });
+        }
+        Ok(BenchReport { schema: schema.to_string(), quick, scenarios })
+    }
+
+    /// The scenario named `name`, if present.
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioReport> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
+
+/// One baseline-vs-current verdict from [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Current events/sec is within tolerance of the baseline.
+    Ok {
+        /// Scenario name.
+        scenario: String,
+        /// `current / baseline` events/sec (>1 = faster than baseline).
+        speedup: f64,
+    },
+    /// Slower than the baseline but within the hard tolerance — noisy
+    /// runners land here, so it only warns.
+    Warn {
+        /// Scenario name.
+        scenario: String,
+        /// `current / baseline` events/sec.
+        speedup: f64,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Slower than `baseline / max_regression` — a real regression even
+    /// on a noisy runner.
+    Fail {
+        /// Scenario name.
+        scenario: String,
+        /// `current / baseline` events/sec.
+        speedup: f64,
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+/// Compares a fresh report against the checked-in baseline.
+///
+/// The contract is deliberately loose — CI runners are noisy, so only a
+/// slowdown worse than `max_regression`× **fails**; anything slower than
+/// `baseline / `[`WARN_FACTOR`] warns. A scenario whose deterministic
+/// work counters (events, requests) differ from the baseline also warns:
+/// the baseline predates a semantic change and should be refreshed.
+pub fn compare(current: &BenchReport, baseline: &BenchReport, max_regression: f64) -> Vec<Verdict> {
+    assert!(max_regression >= 1.0, "max_regression is a slowdown factor, got {max_regression}");
+    let mut verdicts = Vec::new();
+    // Scenarios the baseline has never seen are ungated — surface them,
+    // or a freshly added scenario could regress invisibly forever.
+    for cur in &current.scenarios {
+        if baseline.scenario(&cur.name).is_none() {
+            verdicts.push(Verdict::Warn {
+                scenario: cur.name.clone(),
+                speedup: 0.0,
+                reason: "scenario missing from the baseline (ungated): refresh bench_baseline.json"
+                    .to_string(),
+            });
+        }
+    }
+    for base in &baseline.scenarios {
+        let Some(cur) = current.scenario(&base.name) else {
+            verdicts.push(Verdict::Warn {
+                scenario: base.name.clone(),
+                speedup: 0.0,
+                reason: "scenario missing from current report".to_string(),
+            });
+            continue;
+        };
+        let speedup = if base.events_per_sec > 0.0 { cur.events_per_sec / base.events_per_sec } else { 0.0 };
+        // Counter drift and the speed gate are independent signals: a
+        // drifted baseline still gates throughput (events/sec stays
+        // comparable across small semantic changes), so a kernel change
+        // cannot smuggle a hard regression past CI behind the drift
+        // warning.
+        if cur.events != base.events || cur.requests != base.requests {
+            verdicts.push(Verdict::Warn {
+                scenario: base.name.clone(),
+                speedup,
+                reason: format!(
+                    "work counters drifted (events {} -> {}, requests {} -> {}): refresh bench_baseline.json",
+                    base.events, cur.events, base.requests, cur.requests
+                ),
+            });
+        }
+        if speedup * max_regression < 1.0 {
+            verdicts.push(Verdict::Fail {
+                scenario: base.name.clone(),
+                speedup,
+                reason: format!(
+                    "events/sec {:.0} is worse than baseline {:.0} / {max_regression} (speedup {speedup:.2}x)",
+                    cur.events_per_sec, base.events_per_sec
+                ),
+            });
+        } else if speedup * WARN_FACTOR < 1.0 {
+            verdicts.push(Verdict::Warn {
+                scenario: base.name.clone(),
+                speedup,
+                reason: format!(
+                    "events/sec {:.0} lags baseline {:.0} (speedup {speedup:.2}x) — within tolerance",
+                    cur.events_per_sec, base.events_per_sec
+                ),
+            });
+        } else {
+            verdicts.push(Verdict::Ok { scenario: base.name.clone(), speedup });
+        }
+    }
+    verdicts
+}
+
+/// A minimal recursive-descent JSON reader — just enough for the
+/// [`BenchReport`] schema (objects, arrays, strings, numbers, booleans).
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON object, insertion-ordered.
+        Object(Vec<(String, Value)>),
+        /// JSON array.
+        Array(Vec<Value>),
+        /// JSON string (escapes resolved for `\"`, `\\`, `\/`, `\n`, `\t`).
+        Str(String),
+        /// JSON number.
+        Num(f64),
+        /// JSON boolean.
+        Bool(bool),
+        /// JSON null.
+        Null,
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v).ok_or_else(|| format!("missing key '{key}'"))
+    }
+
+    pub fn get_str<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a str, String> {
+        match get(obj, key)? {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("'{key}' must be a string, got {other:?}")),
+        }
+    }
+
+    pub fn get_f64(obj: &[(String, Value)], key: &str) -> Result<f64, String> {
+        match get(obj, key)? {
+            Value::Num(n) => Ok(*n),
+            other => Err(format!("'{key}' must be a number, got {other:?}")),
+        }
+    }
+
+    pub fn get_bool(obj: &[(String, Value)], key: &str) -> Result<bool, String> {
+        match get(obj, key)? {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("'{key}' must be a boolean, got {other:?}")),
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", b as char))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b't') if bytes[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while let Some(&b) = bytes.get(*pos) {
+            *pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                    *pos += 1;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len() && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>().map(Value::Num).map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            quick: true,
+            scenarios: vec![
+                ScenarioReport {
+                    name: "static_1x1".to_string(),
+                    trials: 5,
+                    events: 32_768,
+                    requests: 5_432,
+                    wall_ms_median: 3.25,
+                    wall_ms_cov: 0.021,
+                    events_per_sec: 10_082_461.5,
+                },
+                ScenarioReport {
+                    name: "fleet_16".to_string(),
+                    trials: 5,
+                    events: 500_000,
+                    requests: 90_000,
+                    wall_ms_median: 42.5,
+                    wall_ms_cov: 0.013,
+                    events_per_sec: 11_764_705.9,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample();
+        let parsed = BenchReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(parsed.schema, report.schema);
+        assert_eq!(parsed.quick, report.quick);
+        assert_eq!(parsed.scenarios.len(), 2);
+        for (a, b) in parsed.scenarios.iter().zip(&report.scenarios) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.requests, b.requests);
+            assert!((a.wall_ms_median - b.wall_ms_median).abs() < 1e-3);
+            assert!((a.events_per_sec - b.events_per_sec).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut report = sample();
+        report.schema = "tpv-perf/0".to_string();
+        let err = BenchReport::from_json(&report.to_json()).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_not_panicked() {
+        for bad in ["", "{", "{\"schema\": }", "[1,2", "{\"schema\":\"tpv-perf/1\"} extra"] {
+            assert!(BenchReport::from_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance_and_fails_beyond() {
+        let baseline = sample();
+        // Identical performance: all Ok.
+        let verdicts = compare(&baseline, &baseline, 2.0);
+        assert!(verdicts.iter().all(|v| matches!(v, Verdict::Ok { .. })), "{verdicts:?}");
+
+        // 1.5x slower: warns but does not fail under the 2x gate.
+        let mut slower = baseline.clone();
+        for s in &mut slower.scenarios {
+            s.events_per_sec /= 1.5;
+        }
+        let verdicts = compare(&slower, &baseline, 2.0);
+        assert!(verdicts.iter().all(|v| matches!(v, Verdict::Warn { .. })), "{verdicts:?}");
+
+        // 3x slower: fails the 2x gate.
+        let mut much_slower = baseline.clone();
+        for s in &mut much_slower.scenarios {
+            s.events_per_sec /= 3.0;
+        }
+        let verdicts = compare(&much_slower, &baseline, 2.0);
+        assert!(verdicts.iter().all(|v| matches!(v, Verdict::Fail { .. })), "{verdicts:?}");
+    }
+
+    #[test]
+    fn compare_flags_work_drift_and_missing_scenarios() {
+        let baseline = sample();
+        let mut drifted = baseline.clone();
+        drifted.scenarios[0].events += 1;
+        let verdicts = compare(&drifted, &baseline, 2.0);
+        assert!(
+            matches!(&verdicts[0], Verdict::Warn { reason, .. } if reason.contains("work counters")),
+            "{verdicts:?}"
+        );
+
+        // Drift must not mask a hard regression: both verdicts surface.
+        let mut drifted_and_slow = baseline.clone();
+        drifted_and_slow.scenarios[0].events += 1;
+        drifted_and_slow.scenarios[0].events_per_sec /= 3.0;
+        let verdicts = compare(&drifted_and_slow, &baseline, 2.0);
+        assert!(
+            verdicts
+                .iter()
+                .any(|v| matches!(v, Verdict::Warn { reason, .. } if reason.contains("work counters"))),
+            "{verdicts:?}"
+        );
+        assert!(
+            verdicts.iter().any(|v| matches!(v, Verdict::Fail { .. })),
+            "a 3x slowdown must fail even when counters drifted: {verdicts:?}"
+        );
+
+        let mut missing = baseline.clone();
+        missing.scenarios.remove(1);
+        let verdicts = compare(&missing, &baseline, 2.0);
+        assert!(
+            verdicts.iter().any(|v| matches!(v, Verdict::Warn { reason, .. } if reason.contains("missing"))),
+            "{verdicts:?}"
+        );
+
+        // The asymmetric case: a scenario the baseline has never seen is
+        // ungated and must warn, not pass silently.
+        let mut extra = baseline.clone();
+        extra.scenarios.push(ScenarioReport {
+            name: "brand_new".to_string(),
+            trials: 5,
+            events: 1,
+            requests: 1,
+            wall_ms_median: 1.0,
+            wall_ms_cov: 0.0,
+            events_per_sec: 1.0,
+        });
+        let verdicts = compare(&extra, &baseline, 2.0);
+        assert!(
+            verdicts.iter().any(
+                |v| matches!(v, Verdict::Warn { scenario, reason, .. } if scenario == "brand_new" && reason.contains("ungated"))
+            ),
+            "{verdicts:?}"
+        );
+    }
+}

@@ -36,6 +36,15 @@ pub struct NodeStats {
 /// Node indices refer to declaration order in the
 /// [`TopologySpec`](crate::topology::TopologySpec).
 pub trait Collector {
+    /// One simulation event was popped and is about to dispatch at `now`.
+    /// This is the kernel's highest-frequency hook — implementations
+    /// must stay O(1) and allocation-free; the default no-op compiles to
+    /// nothing in the monomorphized kernel.
+    #[inline]
+    fn on_event(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
     /// A request left `node` on node-local connection `conn`: `due` is
     /// the scheduled send instant, `wire` the actual wire departure.
     fn on_send(&mut self, node: usize, conn: u32, due: SimTime, wire: SimTime) {
@@ -61,6 +70,34 @@ pub trait Collector {
 pub struct NullCollector;
 
 impl Collector for NullCollector {}
+
+/// Counts dispatched simulation events — the denominator of the perf
+/// harness's events/sec metric (`perf_probe` in `tpv-bench`). The count
+/// is deterministic: the same `(topology, seed)` dispatches the same
+/// event sequence whatever the wall-clock speed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventCountCollector {
+    events: u64,
+}
+
+impl EventCountCollector {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        EventCountCollector::default()
+    }
+
+    /// Events dispatched so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl Collector for EventCountCollector {
+    #[inline]
+    fn on_event(&mut self, _now: SimTime) {
+        self.events += 1;
+    }
+}
 
 /// Accumulates one latency histogram per client node and folds each
 /// node's end-of-run statistics into a per-node [`RunResult`].
@@ -166,6 +203,12 @@ impl Collector for TraceCollector {
 /// need two independent collections in one pass (e.g. per-node *and*
 /// per-phase, which is what [`crate::runtime::run_phased`] does).
 impl<A: Collector, B: Collector> Collector for (A, B) {
+    #[inline]
+    fn on_event(&mut self, now: SimTime) {
+        self.0.on_event(now);
+        self.1.on_event(now);
+    }
+
     fn on_send(&mut self, node: usize, conn: u32, due: SimTime, wire: SimTime) {
         self.0.on_send(node, conn, due, wire);
         self.1.on_send(node, conn, due, wire);

@@ -34,7 +34,7 @@
 //! `tests/golden_runtime.rs`).
 
 use tpv_hw::MachineConfig;
-use tpv_loadgen::{ArrivalKind, ArrivalProcess, ClientSide, GeneratorSpec, LoopMode, PointOfMeasurement};
+use tpv_loadgen::{ArrivalProcess, ClientSide, GeneratorSpec, LoopMode, PointOfMeasurement};
 use tpv_net::{Connection, Link, LinkConfig};
 use tpv_services::request::StageCtx;
 use tpv_services::{NodeConn, RequestDescriptor, ServiceConfig, ServiceInstance};
@@ -219,9 +219,10 @@ struct NodeState<'a> {
     phase_rng: SimRng,
     /// The node's phase plan, if any.
     dynamics: Option<&'a NodeDynamics>,
-    /// Inter-arrival distribution family, kept to rebuild the arrival
-    /// process when a phase changes the rate.
-    arrival_kind: ArrivalKind,
+    /// Pre-generated arrival process per phase (empty for nodes without
+    /// a rate plan): a boundary switch is a copy, not a rebuild, so the
+    /// steady-state loop and its phase transitions allocate nothing.
+    phase_arrivals: Vec<ArrivalProcess>,
     /// Content identity for admission keying (0 = single-node layout).
     node_key: u64,
     pom: PointOfMeasurement,
@@ -252,10 +253,21 @@ impl<'a> NodeState<'a> {
         let dynamics = node.dynamics.as_ref();
         let n_conns = node.generator.connections.max(1) as usize;
         // Phase 0 resolves every time-varying aspect; static nodes take
-        // the exact legacy expressions (no float perturbation).
-        let per_conn_gap = match dynamics.and_then(|d| d.rate.as_ref()) {
-            Some(rate) => SimDuration::from_secs_f64(n_conns as f64 / (node.qps * rate.multiplier(0))),
-            None => SimDuration::from_secs_f64(n_conns as f64 / node.qps),
+        // the exact legacy expressions (no float perturbation). Rate
+        // plans pre-generate one arrival process per phase up front, so
+        // a boundary switch in the hot loop is a plain copy.
+        let (per_conn_gap, phase_arrivals) = match dynamics.and_then(|d| d.rate.as_ref()) {
+            Some(rate) => {
+                let per_phase: Vec<ArrivalProcess> = (0..rate.schedule().phase_count())
+                    .map(|p| {
+                        let gap =
+                            SimDuration::from_secs_f64(n_conns as f64 / (node.qps * rate.multiplier(p)));
+                        ArrivalProcess::new(node.generator.arrival, gap)
+                    })
+                    .collect();
+                (per_phase[0].mean_gap(), per_phase)
+            }
+            None => (SimDuration::from_secs_f64(n_conns as f64 / node.qps), Vec::new()),
         };
         let link0 = dynamics.and_then(|d| d.links.as_ref()).map_or(&node.link, |links| &links[0]);
         let link = Link::new(link0, &mut net_rng);
@@ -274,7 +286,7 @@ impl<'a> NodeState<'a> {
             desc_rng,
             phase_rng,
             dynamics,
-            arrival_kind: node.generator.arrival,
+            phase_arrivals,
             node_key,
             pom: node.generator.pom,
             loop_mode: node.generator.loop_mode,
@@ -302,9 +314,7 @@ impl<'a> NodeState<'a> {
         }
         if let Some(rate) = &dy.rate {
             if rate.multiplier(phase) != rate.multiplier(phase - 1) {
-                let gap =
-                    SimDuration::from_secs_f64(self.conns.len() as f64 / (self.qps * rate.multiplier(phase)));
-                self.arrivals = ArrivalProcess::new(self.arrival_kind, gap);
+                self.arrivals = self.phase_arrivals[phase];
             }
         }
         if let Some(links) = &dy.links {
@@ -528,7 +538,12 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
         ServiceInstance::new(topo.service, topo.server, &server_env, topo.duration, &mut service_rng);
 
     let total_conns: usize = states.iter().map(|s| s.conns.len()).sum();
-    let mut queue: EventQueue<Event> = EventQueue::with_capacity(4 * total_conns);
+    // The fleet's aggregate send rate bounds the event spacing from
+    // above (every request adds in-flight events on top), which is the
+    // calendar queue's bucket-width hint.
+    let total_qps: f64 = states.iter().map(|s| s.qps).sum();
+    let mut queue: EventQueue<Event> =
+        EventQueue::with_spacing(4 * total_conns, SimDuration::from_secs_f64(1.0 / total_qps));
     let mut requests: Slab<InFlight> = Slab::with_capacity(2 * total_conns);
 
     // Stagger every connection's start phase uniformly across one of its
@@ -566,6 +581,7 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
         if now > horizon {
             break;
         }
+        collector.on_event(now);
         match event {
             Event::SendDue { node, conn } => {
                 let st = &mut states[node as usize];

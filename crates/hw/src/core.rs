@@ -77,6 +77,37 @@ pub struct CoreResource {
     wakes_by_state: [u64; 4],
     idle_by_state: [SimDuration; 4],
     total_wake_time: SimDuration,
+    /// Hot-path caches, recomputed whenever the inputs they close over
+    /// change (config/env swap, occupancy estimate). Pure memoization:
+    /// the cached values are bit-identical to recomputing per acquire.
+    cache: AcquireCache,
+}
+
+/// Per-acquire constants of a `(config, env, active_cores)` triple,
+/// hoisted out of the hot loop. `acquire_with_hint` runs on every
+/// simulated request leg (client send, IRQ, worker, client receive), so
+/// the `ln`/divisions behind these values are worth paying exactly once.
+#[derive(Debug, Clone)]
+struct AcquireCache {
+    /// `config.work_scale(active_cores, env)`.
+    base_stretch: f64,
+    /// Governor prediction noise (`None` when `prediction_sigma == 0`).
+    prediction_noise: Option<LogNormal>,
+    /// C-state exit jitter (`None` when `wake_jitter_sigma == 0`).
+    wake_jitter: Option<LogNormal>,
+}
+
+impl AcquireCache {
+    fn new(config: &MachineConfig, env: &RunEnvironment, active_cores: u32) -> Self {
+        let vp = &config.variability;
+        AcquireCache {
+            base_stretch: config.work_scale(active_cores, env),
+            prediction_noise: (vp.prediction_sigma > 0.0)
+                .then(|| LogNormal::with_mean(1.0, vp.prediction_sigma)),
+            wake_jitter: (vp.wake_jitter_sigma > 0.0)
+                .then(|| LogNormal::with_mean(1.0, vp.wake_jitter_sigma)),
+        }
+    }
 }
 
 /// The menu governor's safety factor: a state is only entered when the
@@ -100,6 +131,7 @@ impl CoreResource {
             wakes_by_state: [0; 4],
             idle_by_state: [SimDuration::ZERO; 4],
             total_wake_time: SimDuration::ZERO,
+            cache: AcquireCache::new(config, env, 4),
         }
     }
 
@@ -113,6 +145,7 @@ impl CoreResource {
     /// Sets the occupancy estimate used for the turbo frequency bin.
     pub fn set_active_cores_estimate(&mut self, active: u32) {
         self.active_cores_estimate = active.max(1);
+        self.cache = AcquireCache::new(&self.config, &self.env, self.active_cores_estimate);
     }
 
     /// Swaps this core's machine configuration and run environment
@@ -130,6 +163,7 @@ impl CoreResource {
     pub fn reconfigure(&mut self, config: &MachineConfig, env: &RunEnvironment) {
         self.config = *config;
         self.env = *env;
+        self.cache = AcquireCache::new(config, env, self.active_cores_estimate);
     }
 
     /// Places `work` (expressed at nominal frequency) on this core at
@@ -156,22 +190,20 @@ impl CoreResource {
     ) -> CoreGrant {
         let mut wake = SimDuration::ZERO;
         let mut state = CState::C0;
-        let mut stretch = self.config.work_scale(self.active_cores_estimate, &self.env);
+        let mut stretch = self.cache.base_stretch;
 
         let idle_gap =
             if self.fifo.is_idle_at(now) { now.since(self.fifo.busy_until()) } else { SimDuration::ZERO };
 
         if self.idle_behavior == IdleBehavior::Sleep && !idle_gap.is_zero() {
-            let vp = &self.config.variability;
             // The governor chose a state when the core went idle; it could
             // not see the actual gap, only its history of recent idle
             // periods (the menu governor's "typical interval"), optionally
             // capped by package-level idleness, with per-run learned bias
             // and per-decision noise.
-            let prediction_noise = if vp.prediction_sigma > 0.0 {
-                LogNormal::with_mean(1.0, vp.prediction_sigma).sample(rng)
-            } else {
-                1.0
+            let prediction_noise = match &self.cache.prediction_noise {
+                Some(dist) => dist.sample(rng),
+                None => 1.0,
             };
             let history = self.idle_ewma.unwrap_or(idle_gap);
             let basis = match socket_idle {
@@ -191,10 +223,9 @@ impl CoreResource {
             });
 
             // C-state exit.
-            let exit_jitter = if vp.wake_jitter_sigma > 0.0 {
-                LogNormal::with_mean(1.0, vp.wake_jitter_sigma).sample(rng)
-            } else {
-                1.0
+            let exit_jitter = match &self.cache.wake_jitter {
+                Some(dist) => dist.sample(rng),
+                None => 1.0,
             };
             let exit = self.config.cstate_table.exit_latency(state).scale(exit_jitter);
 

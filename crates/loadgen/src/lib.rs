@@ -99,10 +99,24 @@ pub enum ArrivalKind {
 }
 
 /// A per-connection arrival schedule generator.
-#[derive(Debug, Clone)]
+///
+/// The gap distribution is built once at construction (not per draw): a
+/// `next_gap` call on the hot send path is one RNG transform with no
+/// set-up arithmetic. The drawn gaps are identical to constructing the
+/// distribution per draw — the parameters are a pure function of
+/// `(kind, mean_gap)`.
+#[derive(Debug, Clone, Copy)]
 pub struct ArrivalProcess {
-    kind: ArrivalKind,
     mean_gap: SimDuration,
+    sampler: GapSampler,
+}
+
+/// Prebuilt gap distribution of an [`ArrivalProcess`].
+#[derive(Debug, Clone, Copy)]
+enum GapSampler {
+    Exponential(Exponential),
+    Deterministic,
+    LogNormal(LogNormal),
 }
 
 impl ArrivalProcess {
@@ -113,17 +127,22 @@ impl ArrivalProcess {
     /// Panics if `mean_gap` is zero.
     pub fn new(kind: ArrivalKind, mean_gap: SimDuration) -> Self {
         assert!(!mean_gap.is_zero(), "arrival process needs a positive mean gap");
-        ArrivalProcess { kind, mean_gap }
+        let sampler = match kind {
+            ArrivalKind::Exponential => GapSampler::Exponential(Exponential::with_mean(mean_gap.as_us())),
+            ArrivalKind::Deterministic => GapSampler::Deterministic,
+            ArrivalKind::LogNormal(sigma) => {
+                GapSampler::LogNormal(LogNormal::with_mean(mean_gap.as_us(), sigma))
+            }
+        };
+        ArrivalProcess { mean_gap, sampler }
     }
 
     /// Draws the gap to the next send.
     pub fn next_gap(&self, rng: &mut SimRng) -> SimDuration {
-        match self.kind {
-            ArrivalKind::Exponential => Exponential::with_mean(self.mean_gap.as_us()).sample_us(rng),
-            ArrivalKind::Deterministic => self.mean_gap,
-            ArrivalKind::LogNormal(sigma) => {
-                LogNormal::with_mean(self.mean_gap.as_us(), sigma).sample_us(rng)
-            }
+        match &self.sampler {
+            GapSampler::Exponential(dist) => dist.sample_us(rng),
+            GapSampler::Deterministic => self.mean_gap,
+            GapSampler::LogNormal(dist) => dist.sample_us(rng),
         }
     }
 
@@ -300,6 +319,10 @@ pub struct ClientSide {
     late_sends: u64,
     total_sends: u64,
     total_send_slip: SimDuration,
+    /// Lemire's fastmod constant for `thread_of`: `ceil(2^64 / threads)`.
+    /// Connection→thread mapping runs twice per request (send + receive),
+    /// so the exact division-free modulo is worth precomputing.
+    thread_mod_magic: u64,
 }
 
 impl ClientSide {
@@ -323,6 +346,8 @@ impl ClientSide {
             late_sends: 0,
             total_sends: 0,
             total_send_slip: SimDuration::ZERO,
+            // ceil(2^64 / n) for n >= 2; unused for n == 1 (mod is 0).
+            thread_mod_magic: if n > 1 { (u64::MAX / n as u64).wrapping_add(1) } else { 0 },
         }
     }
 
@@ -344,7 +369,16 @@ impl ClientSide {
 
     /// The thread a connection is owned by.
     pub fn thread_of(&self, conn: usize) -> usize {
-        conn % self.threads.len()
+        let n = self.threads.len() as u64;
+        if n == 1 {
+            return 0;
+        }
+        // Lemire's fastmod (exact for dividends < 2^32; connection ids
+        // are node-local u32s): lowbits = conn * ceil(2^64/n), then
+        // mod = high64(lowbits * n). Identical to `conn % n`.
+        debug_assert!(conn <= u32::MAX as usize);
+        let lowbits = (conn as u64).wrapping_mul(self.thread_mod_magic);
+        ((lowbits as u128 * n as u128) >> 64) as usize
     }
 
     /// Plans the send due at `due` on `conn`.

@@ -14,8 +14,6 @@
 //! distribution is grounded in the real data structure while the
 //! simulation stays cheap per request.
 
-use std::collections::HashMap;
-
 use tpv_hw::{MachineConfig, RunEnvironment};
 use tpv_net::StackCosts;
 use tpv_sim::dist::{Normal, Sampler};
@@ -32,7 +30,7 @@ pub type Vector = Vec<f32>;
 #[derive(Debug)]
 struct LshTable {
     hyperplanes: Vec<Vector>,
-    buckets: HashMap<u64, Vec<u32>>,
+    buckets: crate::fasthash::FxHashMap<u64, Vec<u32>>,
 }
 
 impl LshTable {
@@ -98,7 +96,7 @@ impl LshIndex {
         let mut built = Vec::with_capacity(tables);
         for _ in 0..tables {
             let hyperplanes = (0..planes).map(|_| random_unit_vector(dim, rng)).collect();
-            let mut table = LshTable { hyperplanes, buckets: HashMap::new() };
+            let mut table = LshTable { hyperplanes, buckets: crate::fasthash::FxHashMap::default() };
             for (id, v) in data.iter().enumerate() {
                 assert_eq!(v.len(), dim, "inconsistent vector dimensionality");
                 let h = table.hash(v);

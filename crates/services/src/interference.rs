@@ -103,6 +103,20 @@ impl RunInterference {
     }
 
     /// Pops every spike on `worker` due at or before `now`, returning the
+    /// raw `(time, cpu)` pairs. Most requests find nothing due, so the
+    /// caller can defer computing its collision factor until this
+    /// returns non-empty (see `WorkerPool::execute`).
+    pub fn due_spikes_raw(&mut self, worker: usize, now: SimTime) -> Vec<(SimTime, SimDuration)> {
+        let spikes = &self.per_worker[worker];
+        let cur = &mut self.cursor[worker];
+        let start = *cur;
+        while *cur < spikes.len() && spikes[*cur].0 <= now {
+            *cur += 1;
+        }
+        spikes[start..*cur].to_vec()
+    }
+
+    /// Pops every spike on `worker` due at or before `now`, returning the
     /// `(time, effective_cpu)` pairs. `collision_factor` in `[0,1]` scales
     /// the spike's effective cost (utilisation-dependent migration).
     pub fn due_spikes(
@@ -112,18 +126,13 @@ impl RunInterference {
         collision_factor: f64,
     ) -> Vec<(SimTime, SimDuration)> {
         let f = collision_factor.clamp(0.0, 1.0);
-        let mut out = Vec::new();
-        let spikes = &self.per_worker[worker];
-        let cur = &mut self.cursor[worker];
-        while *cur < spikes.len() && spikes[*cur].0 <= now {
-            let (t, len) = spikes[*cur];
-            *cur += 1;
-            let eff = len.scale(f);
-            if !eff.is_zero() {
-                out.push((t, eff));
-            }
-        }
-        out
+        self.due_spikes_raw(worker, now)
+            .into_iter()
+            .filter_map(|(t, len)| {
+                let eff = len.scale(f);
+                (!eff.is_zero()).then_some((t, eff))
+            })
+            .collect()
     }
 
     /// Total number of spikes drawn for the run.

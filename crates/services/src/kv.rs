@@ -18,13 +18,12 @@
 //! (Atikoglu et al., SIGMETRICS '12): GEV key sizes, generalized-Pareto
 //! value sizes, ~30:1 GET:SET ratio, Zipf-like key popularity.
 
-use std::collections::HashMap;
-
 use tpv_hw::{MachineConfig, RunEnvironment};
 use tpv_net::StackCosts;
 use tpv_sim::dist::{GeneralizedPareto, Gev, Normal, Sampler, Zipf};
 use tpv_sim::{SimDuration, SimRng, SimTime};
 
+use crate::fasthash::FxHashMap;
 use crate::interference::InterferenceProfile;
 use crate::request::{KvOp, RequestDescriptor, ServiceCompletion};
 use crate::worker_pool::WorkerPool;
@@ -52,7 +51,7 @@ pub struct StoredValue {
 /// ```
 #[derive(Debug)]
 pub struct KvStore {
-    shards: Vec<HashMap<u64, StoredValue>>,
+    shards: Vec<FxHashMap<u64, StoredValue>>,
     hits: u64,
     misses: u64,
 }
@@ -65,7 +64,7 @@ impl KvStore {
     /// Panics if `shards == 0`.
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "store needs at least one shard");
-        KvStore { shards: (0..shards).map(|_| HashMap::new()).collect(), hits: 0, misses: 0 }
+        KvStore { shards: (0..shards).map(|_| FxHashMap::default()).collect(), hits: 0, misses: 0 }
     }
 
     fn shard_of(&self, key: u64) -> usize {
@@ -96,7 +95,7 @@ impl KvStore {
 
     /// Number of resident keys.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(HashMap::len).sum()
+        self.shards.iter().map(FxHashMap::len).sum()
     }
 
     /// Whether the store is empty.
@@ -244,8 +243,15 @@ impl KvService {
         };
 
         self.requests += 1;
-        // Functional layer (sampled): really touch the hash table.
-        let stored_size = if self.requests.is_multiple_of(self.config.fidelity as u64) {
+        // Functional layer (sampled): really touch the hash table. The
+        // default fidelity (16) takes the mask path instead of a div.
+        let fidelity = self.config.fidelity as u64;
+        let sampled = if fidelity.is_power_of_two() {
+            self.requests & (fidelity - 1) == 0
+        } else {
+            self.requests.is_multiple_of(fidelity)
+        };
+        let stored_size = if sampled {
             match op {
                 KvOp::Get => self.store.get(key).map(|v| v.size).unwrap_or(0),
                 KvOp::Set => {

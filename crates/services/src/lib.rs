@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fasthash;
 pub mod hdsearch;
 pub mod interference;
 pub mod kv;

@@ -34,6 +34,13 @@ pub struct WorkerPool {
     interference: RunInterference,
     started: SimTime,
     contention_coef: f64,
+    /// Running Σ of worker busy time in ns — identical to summing
+    /// `busy_time()` over `workers`, maintained incrementally so the
+    /// per-request utilisation check does not walk every core.
+    workers_busy_sum_ns: u64,
+    /// Running max of worker and IRQ-core `busy_until` — busy horizons
+    /// only move forward, so the max is maintainable in O(1).
+    socket_busy_max: SimTime,
 }
 
 /// Package-coupled states (C1E and deeper) only engage when the whole
@@ -91,6 +98,8 @@ impl WorkerPool {
             interference: RunInterference::draw(interference, n, horizon, rng),
             started: SimTime::ZERO,
             contention_coef: 0.2,
+            workers_busy_sum_ns: 0,
+            socket_busy_max: SimTime::ZERO,
         }
     }
 
@@ -121,9 +130,13 @@ impl WorkerPool {
 
     /// Pool-wide utilisation so far at `now`.
     pub fn utilization(&self, now: SimTime) -> f64 {
+        debug_assert_eq!(
+            self.workers_busy_sum_ns,
+            self.workers.iter().map(|w| w.busy_time().as_ns()).sum::<u64>(),
+            "incremental busy sum drifted from the per-worker truth"
+        );
         let span = now.since(self.started).as_ns().max(1) as f64;
-        let busy: u64 = self.workers.iter().map(|w| w.busy_time().as_ns()).sum();
-        (busy as f64 / (span * self.workers.len() as f64)).min(1.0)
+        (self.workers_busy_sum_ns as f64 / (span * self.workers.len() as f64)).min(1.0)
     }
 
     /// Executes one request leg on `worker`: injects any due interference,
@@ -139,22 +152,36 @@ impl WorkerPool {
         softirq: SimDuration,
         rng: &mut SimRng,
     ) -> PoolGrant {
-        let util = self.utilization(arrival);
         let smt_on = self.machine.smt.enabled;
+
+        // The running aggregates stand in for walking every core: total
+        // busy time (utilisation) and the latest busy-until (package
+        // idleness), both maintained after each acquire below.
+        let util = self.utilization(arrival);
 
         // Background spikes collide with workers only when the socket is
         // busy enough that the scheduler cannot migrate them to an idle
         // logical CPU. With SMT on, twice the logical CPUs exist for the
         // same worker count, so collisions are rarer and a colliding
         // spike only costs sibling contention, not a full blockage.
-        let logical_share = if smt_on { 0.75 } else { 1.0 };
-        let collision = (util * logical_share).powf(1.5);
-        for (t, len) in self.interference.due_spikes(worker, arrival, collision) {
-            let effective = if smt_on { len.scale(0.85) } else { len };
-            if !effective.is_zero() {
-                self.workers[worker].acquire(t, effective, rng);
+        // Spikes are sparse, so the collision `powf` is only paid when
+        // one is actually due.
+        let due = self.interference.due_spikes_raw(worker, arrival);
+        if !due.is_empty() {
+            let logical_share = if smt_on { 0.75 } else { 1.0 };
+            let collision = (util * logical_share).powf(1.5).clamp(0.0, 1.0);
+            for (t, len) in due {
+                let effective = len.scale(collision);
+                let effective = if smt_on { effective.scale(0.85) } else { effective };
+                if !effective.is_zero() {
+                    let before = self.workers[worker].busy_time().as_ns();
+                    let grant = self.workers[worker].acquire(t, effective, rng);
+                    self.workers_busy_sum_ns += self.workers[worker].busy_time().as_ns() - before;
+                    self.socket_busy_max = self.socket_busy_max.max(grant.end);
+                }
             }
         }
+        let socket_busy_until = self.socket_busy_max;
 
         // Softirq placement (the SMT mechanism of §V-A):
         //  - SMT off: softirq serialized on the worker core - it is part
@@ -170,13 +197,6 @@ impl WorkerPool {
 
         // Package-coupled idle states (C1E+) need the whole socket quiet;
         // cap the governor's prediction with socket-wide idleness.
-        let socket_busy_until = self
-            .workers
-            .iter()
-            .map(|w| w.busy_until())
-            .chain(std::iter::once(self.irq_core.busy_until()))
-            .max()
-            .unwrap_or(SimTime::ZERO);
         let socket_idle =
             if arrival >= socket_busy_until { arrival.since(socket_busy_until) } else { SimDuration::ZERO };
         let hint = Some(SimDuration::from_ns(socket_idle.as_ns() / SOCKET_IDLE_DIVISOR));
@@ -184,6 +204,7 @@ impl WorkerPool {
         // The IRQ/softirq dispatch core wakes first (it pays the same
         // package-gated wake path), then the worker.
         let irq = self.irq_core.acquire_with_hint(arrival, IRQ_DISPATCH_COST, rng, hint);
+        self.socket_busy_max = self.socket_busy_max.max(irq.end);
 
         // Memory/LLC contention: per-request work inflates as the socket
         // fills (shared cache and memory bandwidth pressure), which is
@@ -199,7 +220,10 @@ impl WorkerPool {
         if rng.next_bool(0.012) {
             work += Exponential::with_mean(35.0).sample_us(rng);
         }
+        let before = self.workers[worker].busy_time().as_ns();
         let grant: CoreGrant = self.workers[worker].acquire_with_hint(irq.end + path_delay, work, rng, hint);
+        self.workers_busy_sum_ns += self.workers[worker].busy_time().as_ns() - before;
+        self.socket_busy_max = self.socket_busy_max.max(grant.end);
         PoolGrant {
             end: grant.end,
             busy: work + IRQ_DISPATCH_COST,

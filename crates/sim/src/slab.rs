@@ -3,9 +3,12 @@
 //! The event loop keeps one [`Slab`] of in-flight request records and
 //! routes only the `u32` key through the event queue, instead of copying
 //! the full request payload (descriptor, timestamps, stage context) into
-//! every event variant. Keys are recycled through a free list, so a run
-//! allocates O(peak in-flight) slots regardless of how many requests it
-//! processes.
+//! every event variant. Vacant slots form an **intrusive free list** —
+//! each vacancy stores the index of the next free slot in place — so a
+//! run allocates O(peak in-flight) slots regardless of how many requests
+//! it processes, and insert/remove touch exactly one slot with no side
+//! allocation. Recycling is LIFO: the hottest slot (most recently freed,
+//! still in cache) is reused first.
 //!
 //! # Example
 //!
@@ -23,40 +26,56 @@
 //! assert_eq!(slab.len(), 2);
 //! ```
 
+/// Free-list terminator.
+const NONE: u32 = u32::MAX;
+
+/// One slot: either a live value or a link in the free list.
+#[derive(Debug, Clone)]
+enum Entry<T> {
+    Occupied(T),
+    /// Index of the next vacant slot ([`NONE`] ends the list).
+    Vacant(u32),
+}
+
 /// A slab of `T` values addressed by recycled `u32` keys.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Slab<T> {
-    entries: Vec<Option<T>>,
-    free: Vec<u32>,
+    entries: Vec<Entry<T>>,
+    /// Head of the intrusive free list ([`NONE`] when full).
+    free_head: u32,
     live: usize,
 }
 
 impl<T> Slab<T> {
     /// An empty slab.
     pub fn new() -> Self {
-        Slab { entries: Vec::new(), free: Vec::new(), live: 0 }
+        Slab { entries: Vec::new(), free_head: NONE, live: 0 }
     }
 
     /// An empty slab with room for `capacity` concurrent entries.
     pub fn with_capacity(capacity: usize) -> Self {
-        Slab { entries: Vec::with_capacity(capacity), free: Vec::new(), live: 0 }
+        Slab { entries: Vec::with_capacity(capacity), free_head: NONE, live: 0 }
     }
 
     /// Stores `value` and returns its key.
     ///
     /// # Panics
     ///
-    /// Panics if the slab would exceed `u32::MAX` slots.
+    /// Panics if the slab would exceed `u32::MAX - 1` slots.
     pub fn insert(&mut self, value: T) -> u32 {
         self.live += 1;
-        match self.free.pop() {
-            Some(key) => {
-                self.entries[key as usize] = Some(value);
+        match self.free_head {
+            NONE => {
+                let key = u32::try_from(self.entries.len()).expect("slab exceeded u32::MAX slots");
+                assert!(key != NONE, "slab exceeded u32::MAX slots");
+                self.entries.push(Entry::Occupied(value));
                 key
             }
-            None => {
-                let key = u32::try_from(self.entries.len()).expect("slab exceeded u32::MAX slots");
-                self.entries.push(Some(value));
+            key => {
+                let slot = &mut self.entries[key as usize];
+                let Entry::Vacant(next) = *slot else { unreachable!("free list points at a live slot") };
+                self.free_head = next;
+                *slot = Entry::Occupied(value);
                 key
             }
         }
@@ -67,8 +86,12 @@ impl<T> Slab<T> {
     /// # Panics
     ///
     /// Panics if `key` is vacant or out of bounds.
+    #[inline]
     pub fn get(&self, key: u32) -> &T {
-        self.entries[key as usize].as_ref().expect("slab key is vacant")
+        match &self.entries[key as usize] {
+            Entry::Occupied(value) => value,
+            Entry::Vacant(_) => panic!("slab key is vacant"),
+        }
     }
 
     /// Mutable access to the value stored under `key`.
@@ -76,8 +99,12 @@ impl<T> Slab<T> {
     /// # Panics
     ///
     /// Panics if `key` is vacant or out of bounds.
+    #[inline]
     pub fn get_mut(&mut self, key: u32) -> &mut T {
-        self.entries[key as usize].as_mut().expect("slab key is vacant")
+        match &mut self.entries[key as usize] {
+            Entry::Occupied(value) => value,
+            Entry::Vacant(_) => panic!("slab key is vacant"),
+        }
     }
 
     /// Removes and returns the value under `key`, recycling the slot.
@@ -85,11 +112,21 @@ impl<T> Slab<T> {
     /// # Panics
     ///
     /// Panics if `key` is vacant or out of bounds.
+    #[inline]
     pub fn remove(&mut self, key: u32) -> T {
-        let value = self.entries[key as usize].take().expect("slab key is vacant");
-        self.free.push(key);
-        self.live -= 1;
-        value
+        let slot = &mut self.entries[key as usize];
+        match std::mem::replace(slot, Entry::Vacant(self.free_head)) {
+            Entry::Occupied(value) => {
+                self.free_head = key;
+                self.live -= 1;
+                value
+            }
+            vacant @ Entry::Vacant(_) => {
+                // Undo the speculative replace so the free list stays intact.
+                *slot = vacant;
+                panic!("slab key is vacant")
+            }
+        }
     }
 
     /// Number of live entries.
@@ -106,6 +143,12 @@ impl<T> Slab<T> {
     /// high-water mark of concurrent entries.
     pub fn high_water(&self) -> usize {
         self.entries.len()
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -139,6 +182,25 @@ mod tests {
         assert_eq!(slab.insert('c'), b);
         assert_eq!(slab.insert('d'), a);
         assert_eq!(slab.high_water(), 2, "no new slots while the free list serves");
+    }
+
+    #[test]
+    fn free_list_survives_interleaved_churn() {
+        let mut slab = Slab::new();
+        let mut live: Vec<u32> = (0..16u32).map(|i| slab.insert(i)).collect();
+        // Free every other key, insert replacements, and verify the
+        // arena never grows past the true peak.
+        for round in 0..10u32 {
+            for _ in 0..8 {
+                let k = live.remove((round as usize) % live.len());
+                slab.remove(k);
+            }
+            for i in 0..8u32 {
+                live.push(slab.insert(round * 100 + i));
+            }
+        }
+        assert_eq!(slab.len(), 16);
+        assert_eq!(slab.high_water(), 16, "churn must recycle, not grow");
     }
 
     #[test]

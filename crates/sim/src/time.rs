@@ -104,6 +104,30 @@ impl SimTime {
     }
 }
 
+/// `x.round() as u64` for non-negative `x`, without the libm `round`
+/// call on the common path.
+///
+/// `f64::round` (round half away from zero) has no baseline-x86
+/// instruction, so it compiles to a libm call — measurable on the
+/// simulator's hot paths, which round on every duration construction.
+/// For `0 <= x < 2^52` the truncation `x as u64` is exact, and so is
+/// the fractional remainder `x - trunc` (both are multiples of
+/// `ulp(x)`), so comparing the remainder against 0.5 reproduces
+/// round-half-away bit for bit. (Beware the tempting `(x + 0.5) as
+/// u64`: the *addition* can round — e.g. the largest f64 below 0.5
+/// plus 0.5 is exactly 1.0 — which is why the remainder is compared
+/// instead of added.) The rare huge value falls back to the real thing.
+#[inline]
+fn round_nonneg_as_u64(x: f64) -> u64 {
+    debug_assert!(x >= 0.0);
+    if x < (1u64 << 52) as f64 {
+        let trunc = x as u64;
+        trunc + u64::from(x - trunc as f64 >= 0.5)
+    } else {
+        x.round() as u64
+    }
+}
+
 impl SimDuration {
     /// The empty span.
     pub const ZERO: SimDuration = SimDuration(0);
@@ -139,7 +163,7 @@ impl SimDuration {
         if us <= 0.0 || !us.is_finite() {
             return SimDuration::ZERO;
         }
-        SimDuration((us * 1_000.0).round() as u64)
+        SimDuration(round_nonneg_as_u64(us * 1_000.0))
     }
 
     /// Builds a span from fractional seconds, rounding to the nearest
@@ -148,7 +172,7 @@ impl SimDuration {
         if s <= 0.0 || !s.is_finite() {
             return SimDuration::ZERO;
         }
-        SimDuration((s * 1_000_000_000.0).round() as u64)
+        SimDuration(round_nonneg_as_u64(s * 1_000_000_000.0))
     }
 
     /// Nanoseconds in this span.
@@ -182,12 +206,9 @@ impl SimDuration {
     /// takes `d.scale(f_nominal / f_current)` at a lower frequency.
     pub fn scale(self, factor: f64) -> SimDuration {
         debug_assert!(factor >= 0.0, "negative duration scale {factor}");
-        let ns = (self.0 as f64 * factor.max(0.0)).round();
-        if ns >= u64::MAX as f64 {
-            SimDuration::MAX
-        } else {
-            SimDuration(ns as u64)
-        }
+        // `round` saturates on the huge-value path (float→int casts
+        // clamp), preserving the historical `SimDuration::MAX` ceiling.
+        SimDuration(round_nonneg_as_u64(self.0 as f64 * factor.max(0.0)))
     }
 
     /// The longer of two spans.
@@ -345,6 +366,36 @@ mod tests {
         assert_eq!(SimDuration::from_us_f64(-3.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_us_f64(f64::NAN), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(1.5).as_ns(), 1_500_000_000);
+    }
+
+    #[test]
+    fn fast_round_matches_libm_round_exactly() {
+        // The libm-free rounding must agree with f64::round bit for bit,
+        // including the adversarial near-half values where a naive
+        // `(x + 0.5) as u64` rounds in the addition (the largest f64
+        // below 0.5 plus 0.5 is exactly 1.0).
+        let adversarial = [
+            0.49999999999999994, // nextafter(0.5, 0): round = 0, x + 0.5 == 1.0
+            0.5,
+            0.5000000000000001,
+            1.4999999999999998,
+            1.5,
+            2.5,
+            0.0,
+            4503599627370495.5, // 2^52 - 0.5
+        ];
+        for &x in &adversarial {
+            assert_eq!(round_nonneg_as_u64(x), x.round() as u64, "x = {x:e}");
+        }
+        // Pseudo-random sweep across magnitudes (splitmix-style mixing).
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..100_000 {
+            state = state.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            let mantissa = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let exp = (state % 56) as i32 - 2;
+            let x = mantissa * 2f64.powi(exp);
+            assert_eq!(round_nonneg_as_u64(x), x.round() as u64, "x = {x:e}");
+        }
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Conformance tests for the calendar-queue `EventQueue`: the bucketed
+//! implementation must be observably identical to a plain binary heap
+//! ordered by `(time, seq)` — non-decreasing pop times, FIFO among equal
+//! timestamps, and bit-identical pop sequences on random schedules,
+//! including interleaved schedule/pop traffic that slides the bucket
+//! window and exercises the far-future heap.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+use tpv::sim::{EventQueue, SimDuration, SimTime};
+
+/// The reference implementation: a plain min-heap over `(time, seq)`.
+/// This is semantically the pre-calendar-queue `EventQueue`.
+#[derive(Default)]
+struct ReferenceQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    seq: u64,
+    last_popped: SimTime,
+}
+
+impl ReferenceQueue {
+    fn schedule(&mut self, at: SimTime) {
+        self.heap.push(Reverse((at, self.seq)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        let Reverse((at, seq)) = self.heap.pop()?;
+        let at = at.max(self.last_popped);
+        self.last_popped = at;
+        Some((at, seq))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pop times never decrease, whatever the schedule.
+    #[test]
+    fn pop_times_are_non_decreasing(times in prop::collection::vec(0u64..50_000_000, 1..600)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last, "clock ran backwards: {at} after {last}");
+            last = at;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Events with equal timestamps pop in scheduling (FIFO) order.
+    #[test]
+    fn ties_pop_in_fifo_order(
+        times in prop::collection::vec(0u64..64, 1..600),
+        scale_pick in 0u32..3,
+    ) {
+        // Few distinct timestamps at several magnitudes ⇒ many ties per
+        // bucket width regime.
+        let scale = [1u64, 1_000, 1_000_000][scale_pick as usize];
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t * scale), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, id)) = q.pop() {
+            if let Some((prev_at, prev_id)) = last {
+                if at == prev_at {
+                    prop_assert!(id > prev_id, "tie at {at}: {id} popped after {prev_id}");
+                }
+            }
+            last = Some((at, id));
+        }
+    }
+
+    /// The calendar queue's pop sequence equals the reference heap's,
+    /// with everything scheduled up front.
+    #[test]
+    fn matches_reference_heap_on_batch_schedules(
+        times in prop::collection::vec(0u64..100_000_000, 1..500),
+    ) {
+        let mut calendar = EventQueue::new();
+        let mut reference = ReferenceQueue::default();
+        for (i, &t) in times.iter().enumerate() {
+            calendar.schedule(SimTime::from_ns(t), i as u64);
+            reference.schedule(SimTime::from_ns(t));
+        }
+        loop {
+            match (calendar.pop(), reference.pop()) {
+                (None, None) => break,
+                (got, want) => {
+                    let got = got.expect("calendar queue ended early");
+                    let (want_at, want_seq) = want.expect("calendar queue had extra events");
+                    prop_assert_eq!(got.0, want_at);
+                    prop_assert_eq!(got.1, want_seq);
+                }
+            }
+        }
+    }
+
+    /// Interleaved schedule/pop traffic — future events scheduled
+    /// relative to the current clock, like a simulation does — matches
+    /// the reference heap event for event. Large offsets land in the
+    /// far-future heap and migrate back as the window slides.
+    #[test]
+    fn matches_reference_heap_under_interleaving(
+        offsets in prop::collection::vec((0u64..20_000_000, 1u64..4), 1..400),
+    ) {
+        let mut calendar = EventQueue::new();
+        let mut reference = ReferenceQueue::default();
+        let mut next_id = 0u64;
+        let mut clock = SimTime::ZERO;
+        for &(offset, burst) in &offsets {
+            for b in 0..burst {
+                let at = clock + SimDuration::from_ns(offset + b);
+                calendar.schedule(at, next_id);
+                reference.schedule(at);
+                next_id += 1;
+            }
+            // Drain one event per scheduled burst, advancing the clock.
+            let got = calendar.pop().expect("calendar queue empty while events pending");
+            let want = reference.pop().expect("reference queue empty while events pending");
+            prop_assert_eq!(got.0, want.0);
+            prop_assert_eq!(got.1, want.1);
+            clock = got.0;
+        }
+        // Drain the tails in lockstep.
+        loop {
+            match (calendar.pop(), reference.pop()) {
+                (None, None) => break,
+                (got, want) => {
+                    let got = got.expect("calendar queue ended early");
+                    let want = want.expect("calendar queue had extra events");
+                    prop_assert_eq!(got.0, want.0);
+                    prop_assert_eq!(got.1, want.1);
+                }
+            }
+        }
+    }
+
+    /// `len` and `peek_time` agree with the pop sequence.
+    #[test]
+    fn len_and_peek_are_consistent(times in prop::collection::vec(0u64..10_000_000, 1..200)) {
+        let mut q = EventQueue::with_capacity(times.len());
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t), i);
+        }
+        let mut remaining = times.len();
+        while remaining > 0 {
+            prop_assert_eq!(q.len(), remaining);
+            let peeked = q.peek_time().expect("peek on non-empty queue");
+            let (at, _) = q.pop().expect("pop on non-empty queue");
+            prop_assert_eq!(peeked, at, "peek_time disagreed with the next pop");
+            remaining -= 1;
+        }
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.peek_time(), None);
+    }
+}
