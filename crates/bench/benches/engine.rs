@@ -113,6 +113,7 @@ fn bench_fleet_run(c: &mut Criterion) {
                 n,
             );
             let spec = TopologySpec {
+                shards: None,
                 service: &service,
                 server: &server,
                 nodes: &fleet,

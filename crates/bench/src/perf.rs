@@ -16,7 +16,7 @@
 use std::fmt::Write as _;
 
 /// Schema identifier written into every report.
-pub const SCHEMA: &str = "tpv-perf/1";
+pub const SCHEMA: &str = "tpv-perf/2";
 
 /// Warn (but do not fail) when events/sec falls below `baseline / WARN`.
 pub const WARN_FACTOR: f64 = 1.25;
@@ -40,6 +40,14 @@ pub struct ScenarioReport {
     pub wall_ms_cov: f64,
     /// Events dispatched per wall second, at the median trial.
     pub events_per_sec: f64,
+    /// Median wall-clock time of the same run forced serial, in
+    /// milliseconds — `0.0` for scenarios that are not dual-timed.
+    /// Only the sharded scenarios execute twice (parallel and serial)
+    /// to measure intra-run scaling.
+    pub wall_ms_serial: f64,
+    /// `wall_ms_serial / wall_ms_median` — the intra-run parallel
+    /// speedup; `0.0` when not dual-timed.
+    pub speedup_vs_serial: f64,
 }
 
 /// The full probe output: what `BENCH.json` holds.
@@ -70,7 +78,9 @@ impl BenchReport {
             let _ = writeln!(out, "      \"requests\": {},", s.requests);
             let _ = writeln!(out, "      \"wall_ms_median\": {:.4},", s.wall_ms_median);
             let _ = writeln!(out, "      \"wall_ms_cov\": {:.4},", s.wall_ms_cov);
-            let _ = writeln!(out, "      \"events_per_sec\": {:.1}", s.events_per_sec);
+            let _ = writeln!(out, "      \"events_per_sec\": {:.1},", s.events_per_sec);
+            let _ = writeln!(out, "      \"wall_ms_serial\": {:.4},", s.wall_ms_serial);
+            let _ = writeln!(out, "      \"speedup_vs_serial\": {:.4}", s.speedup_vs_serial);
             out.push_str(if i + 1 == self.scenarios.len() { "    }\n" } else { "    },\n" });
         }
         out.push_str("  ]\n}\n");
@@ -101,6 +111,8 @@ impl BenchReport {
                 wall_ms_median: json::get_f64(s, "wall_ms_median")?,
                 wall_ms_cov: json::get_f64(s, "wall_ms_cov")?,
                 events_per_sec: json::get_f64(s, "events_per_sec")?,
+                wall_ms_serial: json::get_f64(s, "wall_ms_serial")?,
+                speedup_vs_serial: json::get_f64(s, "speedup_vs_serial")?,
             });
         }
         Ok(BenchReport { schema: schema.to_string(), quick, scenarios })
@@ -214,6 +226,83 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, max_regression: f6
         }
     }
     verdicts
+}
+
+/// The baseline to check in after a refresh: `current`'s scenarios
+/// replace their namesakes in `base` (and append when new), so a
+/// single-scenario probe (`perf_probe --scenario X --write-baseline`)
+/// updates one entry in place instead of clobbering the rest. With no
+/// readable base (first run, or a schema bump) the current report *is*
+/// the baseline — a schema bump therefore needs one full-matrix probe.
+pub fn refreshed_baseline(base: Option<BenchReport>, current: &BenchReport) -> BenchReport {
+    match base {
+        None => current.clone(),
+        Some(mut base) => {
+            base.quick = current.quick;
+            for cur in &current.scenarios {
+                match base.scenarios.iter_mut().find(|s| s.name == cur.name) {
+                    Some(slot) => *slot = cur.clone(),
+                    None => base.scenarios.push(cur.clone()),
+                }
+            }
+            base
+        }
+    }
+}
+
+/// Renders the compact markdown delta table CI appends to
+/// `$GITHUB_STEP_SUMMARY`: one row per scenario of `current` with its
+/// deterministic work, throughput, the events/sec delta against the
+/// baseline (when one is given) and the gate verdict.
+pub fn summary_markdown(current: &BenchReport, baseline: Option<(&BenchReport, f64)>) -> String {
+    let mut out = String::new();
+    out.push_str("### perf_probe — kernel events/sec vs baseline\n\n");
+    out.push_str("| scenario | events/run | median wall (ms) | events/sec | Δ vs baseline | shard speedup | verdict |\n");
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    let verdicts = baseline.map(|(base, max_regression)| compare(current, base, max_regression));
+    for s in &current.scenarios {
+        let (delta, verdict) = match (&verdicts, baseline) {
+            (Some(verdicts), Some((base, _))) => {
+                let delta = base
+                    .scenario(&s.name)
+                    .filter(|b| b.events_per_sec > 0.0)
+                    .map_or("n/a".to_string(), |b| {
+                        format!("{:+.1}%", (s.events_per_sec / b.events_per_sec - 1.0) * 100.0)
+                    });
+                // The worst verdict for this scenario (a scenario can
+                // carry both a drift warning and a speed verdict).
+                let verdict = verdicts
+                    .iter()
+                    .filter_map(|v| match v {
+                        Verdict::Fail { scenario, .. } if *scenario == s.name => Some((0, "❌ fail")),
+                        Verdict::Warn { scenario, .. } if *scenario == s.name => Some((1, "⚠️ warn")),
+                        Verdict::Ok { scenario, .. } if *scenario == s.name => Some((2, "✅ ok")),
+                        _ => None,
+                    })
+                    .min_by_key(|&(rank, _)| rank)
+                    .map_or("—", |(_, label)| label);
+                (delta, verdict)
+            }
+            _ => ("n/a".to_string(), "—"),
+        };
+        let speedup = if s.speedup_vs_serial > 0.0 {
+            format!("{:.2}x ({:.1} ms serial)", s.speedup_vs_serial, s.wall_ms_serial)
+        } else {
+            "—".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.2} | {:.2}M | {} | {} | {} |",
+            s.name,
+            s.events,
+            s.wall_ms_median,
+            s.events_per_sec / 1e6,
+            delta,
+            speedup,
+            verdict
+        );
+    }
+    out
 }
 
 /// A minimal recursive-descent JSON reader — just enough for the
@@ -431,6 +520,8 @@ mod tests {
                     wall_ms_median: 3.25,
                     wall_ms_cov: 0.021,
                     events_per_sec: 10_082_461.5,
+                    wall_ms_serial: 0.0,
+                    speedup_vs_serial: 0.0,
                 },
                 ScenarioReport {
                     name: "fleet_16".to_string(),
@@ -440,6 +531,8 @@ mod tests {
                     wall_ms_median: 42.5,
                     wall_ms_cov: 0.013,
                     events_per_sec: 11_764_705.9,
+                    wall_ms_serial: 160.1,
+                    speedup_vs_serial: 3.7671,
                 },
             ],
         }
@@ -458,13 +551,62 @@ mod tests {
             assert_eq!(a.requests, b.requests);
             assert!((a.wall_ms_median - b.wall_ms_median).abs() < 1e-3);
             assert!((a.events_per_sec - b.events_per_sec).abs() < 1.0);
+            assert!((a.wall_ms_serial - b.wall_ms_serial).abs() < 1e-3);
+            assert!((a.speedup_vs_serial - b.speedup_vs_serial).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn refreshed_baseline_replaces_in_place_and_appends() {
+        let base = sample();
+        let mut current = sample();
+        current.scenarios[0].events_per_sec = 99.0;
+        current.scenarios.remove(1); // a partial (--scenario) probe
+        current.scenarios.push(ScenarioReport {
+            name: "fleet_256".to_string(),
+            trials: 5,
+            events: 10,
+            requests: 10,
+            wall_ms_median: 1.0,
+            wall_ms_cov: 0.0,
+            events_per_sec: 10.0,
+            wall_ms_serial: 4.0,
+            speedup_vs_serial: 4.0,
+        });
+        let refreshed = refreshed_baseline(Some(base.clone()), &current);
+        // Replaced in place, untouched entries kept, new ones appended.
+        assert_eq!(refreshed.scenario("static_1x1").unwrap().events_per_sec, 99.0);
+        assert_eq!(
+            refreshed.scenario("fleet_16").unwrap().events_per_sec,
+            base.scenario("fleet_16").unwrap().events_per_sec
+        );
+        assert!(refreshed.scenario("fleet_256").is_some());
+        // No readable base: the current report becomes the baseline.
+        let fresh = refreshed_baseline(None, &current);
+        assert_eq!(fresh, current);
+    }
+
+    #[test]
+    fn summary_markdown_renders_deltas_and_verdicts() {
+        let baseline = sample();
+        let mut current = sample();
+        current.scenarios[0].events_per_sec *= 1.10;
+        current.scenarios[1].events_per_sec /= 3.0;
+        let md = summary_markdown(&current, Some((&baseline, 2.0)));
+        assert!(md.contains("| static_1x1 |"), "{md}");
+        assert!(md.contains("+10.0%"), "{md}");
+        assert!(md.contains("✅ ok"), "{md}");
+        assert!(md.contains("❌ fail"), "{md}");
+        assert!(md.contains("3.77x"), "dual-timed scenario must show its speedup: {md}");
+        // Without a baseline the table still renders, ungated.
+        let md = summary_markdown(&current, None);
+        assert!(md.contains("n/a"), "{md}");
     }
 
     #[test]
     fn schema_mismatch_is_rejected() {
         let mut report = sample();
-        report.schema = "tpv-perf/0".to_string();
+        report.schema = "tpv-perf/1".to_string();
         let err = BenchReport::from_json(&report.to_json()).unwrap_err();
         assert!(err.contains("schema mismatch"), "{err}");
     }
@@ -546,6 +688,8 @@ mod tests {
             wall_ms_median: 1.0,
             wall_ms_cov: 0.0,
             events_per_sec: 1.0,
+            wall_ms_serial: 0.0,
+            speedup_vs_serial: 0.0,
         });
         let verdicts = compare(&extra, &baseline, 2.0);
         assert!(

@@ -52,7 +52,14 @@ pub(crate) fn run(ctx: &StudyCtx) {
         .collect();
     let topos: Vec<TopologySpec<'_>> = fleets
         .iter()
-        .map(|nodes| TopologySpec { service: &service, server: &server, nodes, duration, warmup })
+        .map(|nodes| TopologySpec {
+            shards: None,
+            service: &service,
+            server: &server,
+            nodes,
+            duration,
+            warmup,
+        })
         .collect();
     let per_cell = ctx.run_fleet_cells(&topos, runs, env_seed());
 

@@ -62,7 +62,14 @@ pub(crate) fn run(ctx: &StudyCtx) {
     let fleets: Vec<Vec<ClientNode>> = BAD_COUNTS.iter().map(|&b| fleet_with_bad(b)).collect();
     let topos: Vec<TopologySpec<'_>> = fleets
         .iter()
-        .map(|nodes| TopologySpec { service: &service, server: &server, nodes, duration, warmup })
+        .map(|nodes| TopologySpec {
+            shards: None,
+            service: &service,
+            server: &server,
+            nodes,
+            duration,
+            warmup,
+        })
         .collect();
     let per_cell = ctx.run_fleet_cells(&topos, runs, env_seed());
 

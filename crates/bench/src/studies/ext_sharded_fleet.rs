@@ -1,0 +1,171 @@
+//! **Extension experiment** (beyond the paper's figures): the paper's
+//! client-side skew against a *sharded* server tier.
+//!
+//! Datacenter services are not one backend: a load-balanced tier of K
+//! shards serves the fleet, and the node→shard routing is itself a knob
+//! (ConfigTron's heterogeneous populations spread over multiple
+//! backends). This study runs a 32-node memcached fleet against an
+//! 8-shard tier and crosses two variables:
+//!
+//! * **routing** — uniform round-robin vs a skewed hot shard that takes
+//!   40% of the fleet (an imbalanced router);
+//! * **client hygiene** — an all-HP fleet vs one LP (untuned, deep
+//!   C-states) client injected per shard.
+//!
+//! Reported per cell: the pooled aggregate p99 next to the per-shard
+//! spread (worst/best shard p99). Expected shape: hot-shard routing
+//! inflates the hot backend's tail through genuine server queueing,
+//! while the LP injection inflates *every* shard's recorded tail —
+//! client-side skew mimics backend imbalance at shard granularity, and
+//! only the per-shard × per-node breakdown tells the two apart.
+
+use tpv_core::analysis::Summary;
+use tpv_core::report::{Csv, MarkdownTable};
+use tpv_core::topology::{ClientNode, ShardPolicy, ShardSpec, TopologySpec};
+use tpv_hw::MachineConfig;
+use tpv_loadgen::GeneratorSpec;
+use tpv_net::LinkConfig;
+
+use crate::study::StudyCtx;
+use crate::{banner, env_duration, env_runs, env_seed};
+
+const SHARDS: usize = 8;
+const FLEET: usize = 32;
+const TOTAL_QPS: f64 = 400_000.0;
+const HOT_SHARE: f64 = 0.4;
+
+/// A 32-node fleet; with `lp_per_shard`, nodes 0..8 are LP — exactly one
+/// per shard under round-robin routing.
+fn fleet(lp_per_shard: bool) -> Vec<ClientNode> {
+    let gen = GeneratorSpec::mutilate().with_connections(160 / FLEET as u32);
+    let link = LinkConfig::cloudlab_lan();
+    let per_node = TOTAL_QPS / FLEET as f64;
+    (0..FLEET)
+        .map(|i| {
+            if lp_per_shard && i < SHARDS {
+                ClientNode::new(format!("lp{i}"), MachineConfig::low_power(), gen, link, per_node)
+            } else {
+                ClientNode::new(format!("hp{i}"), MachineConfig::high_performance(), gen, link, per_node)
+            }
+        })
+        .collect()
+}
+
+fn tier(hot: bool) -> ShardSpec {
+    let spec = ShardSpec::uniform(MachineConfig::server_baseline(), SHARDS);
+    if hot {
+        spec.with_policy(ShardPolicy::HotShard { hot: 0, share: HOT_SHARE })
+    } else {
+        spec
+    }
+}
+
+/// Renders this artefact through the context engine.
+pub(crate) fn run(ctx: &StudyCtx) {
+    let runs = env_runs(10);
+    let duration = env_duration(300);
+    banner(
+        "Extension: sharded server tier — per-shard p99 under uniform vs hot-shard routing",
+        runs,
+        duration,
+    );
+    println!(
+        "{FLEET}-node memcached fleet at {:.0}K QPS over {SHARDS} backend shards; \
+         hot routing sends {:.0}% of the fleet to shard 0; LP injection puts one untuned client per shard.\n",
+        TOTAL_QPS / 1000.0,
+        HOT_SHARE * 100.0
+    );
+
+    let warmup = duration / 10;
+    let service = tpv_core::experiment::Benchmark::memcached().service;
+    let server = MachineConfig::server_baseline();
+    let cells: Vec<(&str, ShardSpec, Vec<ClientNode>)> = vec![
+        ("uniform / all-HP", tier(false), fleet(false)),
+        ("uniform / LP-per-shard", tier(false), fleet(true)),
+        ("hot / all-HP", tier(true), fleet(false)),
+        ("hot / LP-per-shard", tier(true), fleet(true)),
+    ];
+    let topos: Vec<TopologySpec<'_>> = cells
+        .iter()
+        .map(|(_, shards, nodes)| TopologySpec {
+            shards: Some(shards),
+            service: &service,
+            server: &server,
+            nodes,
+            duration,
+            warmup,
+        })
+        .collect();
+    let per_cell = ctx.run_sharded_cells(&topos, runs, env_seed());
+
+    let mut table = MarkdownTable::new(&[
+        "routing / fleet",
+        "agg p99 (us)",
+        "best shard p99 (us)",
+        "worst shard p99 (us)",
+        "shard spread",
+        "hot-shard samples %",
+    ]);
+    let mut csv = Csv::new(&[
+        "routing",
+        "lp_per_shard",
+        "agg_p99_us",
+        "best_shard_p99_us",
+        "worst_shard_p99_us",
+        "shard_spread",
+        "hot_share_pct",
+    ]);
+
+    let mut spreads: Vec<(String, f64)> = Vec::new();
+    for (ci, (label, _, _)) in cells.iter().enumerate() {
+        let samples = &per_cell[ci];
+        let aggregate: Vec<_> = samples.iter().map(|s| s.fleet.aggregate.clone()).collect();
+        let agg_p99 = Summary::from_runs(&aggregate).p99_median_us();
+        // Median across runs of the per-run best/worst shard tails.
+        let mut best: Vec<f64> = samples.iter().map(|s| s.best_shard_p99().as_us()).collect();
+        let mut worst: Vec<f64> = samples.iter().map(|s| s.worst_shard_p99().as_us()).collect();
+        best.sort_by(f64::total_cmp);
+        worst.sort_by(f64::total_cmp);
+        let best_p99 = best[best.len() / 2];
+        let worst_p99 = worst[worst.len() / 2];
+        let spread = worst_p99 / best_p99;
+        let hot_pct: f64 = samples
+            .iter()
+            .map(|s| s.shards[0].result.samples as f64 / s.fleet.aggregate.samples.max(1) as f64)
+            .sum::<f64>()
+            / samples.len() as f64
+            * 100.0;
+        spreads.push((label.to_string(), spread));
+        table.row(&[
+            label.to_string(),
+            format!("{agg_p99:.1}"),
+            format!("{best_p99:.1}"),
+            format!("{worst_p99:.1}"),
+            format!("{spread:.2}x"),
+            format!("{hot_pct:.1}"),
+        ]);
+        let (routing, lp) = label.split_once(" / ").expect("cell label shape");
+        csv.row(&[
+            routing.to_string(),
+            u8::from(lp.starts_with("LP")).to_string(),
+            format!("{agg_p99:.3}"),
+            format!("{best_p99:.3}"),
+            format!("{worst_p99:.3}"),
+            format!("{spread:.4}"),
+            format!("{hot_pct:.3}"),
+        ]);
+    }
+    println!("{}", table.render());
+    crate::write_csv("ext_sharded_fleet.csv", &csv);
+
+    let clean = spreads[0].1;
+    let hot = spreads[2].1;
+    let lp = spreads[1].1;
+    println!(
+        "\nShard finding: hot-shard routing widens the per-shard p99 spread to {hot:.2}x \
+         (uniform baseline {clean:.2}x) through real backend queueing — but one untuned client \
+         per shard already widens it to {lp:.2}x with *no* server imbalance: client-side \
+         configuration skew is indistinguishable from backend imbalance until the per-node \
+         breakdown names the culprits."
+    );
+}

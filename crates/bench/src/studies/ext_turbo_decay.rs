@@ -75,7 +75,8 @@ pub(crate) fn run(ctx: &StudyCtx) {
             }
         })
         .collect();
-    let topo = TopologySpec { service: &service, server: &server, nodes: &nodes, duration, warmup };
+    let topo =
+        TopologySpec { shards: None, service: &service, server: &server, nodes: &nodes, duration, warmup };
     let samples = &ctx.run_phased_cells(&[topo], runs, env_seed())[0];
 
     // When: the pooled per-phase regimes around the boundary.

@@ -9,6 +9,7 @@ pub(crate) mod ext_closed_loop;
 pub(crate) mod ext_diurnal_fleet;
 pub(crate) mod ext_fleet_scaling;
 pub(crate) mod ext_mixed_fleet;
+pub(crate) mod ext_sharded_fleet;
 pub(crate) mod ext_space_exploration;
 pub(crate) mod ext_turbo_decay;
 pub(crate) mod ext_verdict_methods;

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use tpv_core::engine::{fingerprint_topology, Engine, JobPlan, RunCache};
 use tpv_core::runtime::PhasedFleetResult;
-use tpv_core::topology::{FleetResult, TopologySpec};
+use tpv_core::topology::{FleetResult, ShardedFleetResult, TopologySpec};
 
 use crate::studies;
 
@@ -65,6 +65,28 @@ impl StudyCtx {
         let mut per_cell: Vec<Vec<FleetResult>> = vec![Vec::with_capacity(runs); topos.len()];
         for (cell, _, fleet) in results {
             per_cell[cell].push(fleet);
+        }
+        per_cell
+    }
+
+    /// The sharded counterpart of [`StudyCtx::run_fleet_cells`]: every
+    /// topology cell executes as a
+    /// [`tpv_core::runtime::run_topology_sharded`] job, so each run
+    /// carries the per-shard breakdown next to its fleet result. The
+    /// engine splits its worker budget between job-level and intra-run
+    /// (shard-level) parallelism; results are bit-identical either way.
+    pub fn run_sharded_cells(
+        &self,
+        topos: &[TopologySpec<'_>],
+        runs: usize,
+        seed: u64,
+    ) -> Vec<Vec<ShardedFleetResult>> {
+        let fingerprints: Vec<u64> = topos.iter().map(fingerprint_topology).collect();
+        let plan = JobPlan::new(seed, &fingerprints, runs);
+        let results = self.engine.execute_sharded(&plan, |cell| topos[cell]);
+        let mut per_cell: Vec<Vec<ShardedFleetResult>> = vec![Vec::with_capacity(runs); topos.len()];
+        for (cell, _, sharded) in results {
+            per_cell[cell].push(sharded);
         }
         per_cell
     }
@@ -222,6 +244,12 @@ pub fn registry() -> Vec<Study> {
             run: studies::ext_turbo_decay::run,
         },
         Study {
+            name: "ext_sharded_fleet",
+            title: "Extension: sharded server tier — per-shard p99 under uniform vs hot-shard routing",
+            kind: StudyKind::Extension,
+            run: studies::ext_sharded_fleet::run,
+        },
+        Study {
             name: "ext_verdict_methods",
             title: "Extension: CI-overlap vs Mann-Whitney verdicts",
             kind: StudyKind::Extension,
@@ -267,7 +295,13 @@ mod tests {
         assert_eq!(names, deduped, "registry names must be unique");
         // The `all_experiments --list` smoke check greps for these; keep
         // the registry and CI in sync.
-        for required in ["ext_diurnal_fleet", "ext_turbo_decay", "ext_mixed_fleet", "ext_fleet_scaling"] {
+        for required in [
+            "ext_diurnal_fleet",
+            "ext_turbo_decay",
+            "ext_mixed_fleet",
+            "ext_fleet_scaling",
+            "ext_sharded_fleet",
+        ] {
             assert!(
                 find(required).is_some(),
                 "study '{required}' must be registered (CI smoke-checks --list for it)"

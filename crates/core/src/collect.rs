@@ -65,11 +65,29 @@ pub trait Collector {
     }
 }
 
+/// A collector whose per-shard instances can be folded back into one —
+/// what lets the sharded kernel
+/// ([`crate::runtime::run_sharded_collected`]) give every concurrent
+/// shard its own collector and still hand the caller a single merged
+/// collection. `other` is always the *next* shard in stable shard
+/// declaration order, and shards observe disjoint node sets, so an
+/// implementation merging by node index is automatically
+/// order-insensitive.
+pub trait MergeCollector: Collector {
+    /// Folds `other` — the same run's next shard, in stable shard
+    /// order — into `self`.
+    fn merge(&mut self, other: Self);
+}
+
 /// Collects nothing; what [`crate::runtime::run_once`] runs with.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullCollector;
 
 impl Collector for NullCollector {}
+
+impl MergeCollector for NullCollector {
+    fn merge(&mut self, _other: Self) {}
+}
 
 /// Counts dispatched simulation events — the denominator of the perf
 /// harness's events/sec metric (`perf_probe` in `tpv-bench`). The count
@@ -99,6 +117,12 @@ impl Collector for EventCountCollector {
     }
 }
 
+impl MergeCollector for EventCountCollector {
+    fn merge(&mut self, other: Self) {
+        self.events += other.events;
+    }
+}
+
 /// Accumulates one latency histogram per client node and folds each
 /// node's end-of-run statistics into a per-node [`RunResult`].
 #[derive(Debug)]
@@ -123,6 +147,21 @@ impl PerNodeCollector {
     /// Panics if the kernel has not run to completion with this collector.
     pub fn into_results(self) -> Vec<RunResult> {
         self.results.into_iter().map(|r| r.expect("kernel did not finish this node")).collect()
+    }
+}
+
+impl MergeCollector for PerNodeCollector {
+    /// Takes `other`'s finished nodes. Shards partition the fleet, so at
+    /// most one shard's collector carries any given node.
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.results.len(), other.results.len(), "collectors cover different fleets");
+        for (i, (result, hist)) in other.results.into_iter().zip(other.hists).enumerate() {
+            if result.is_some() {
+                assert!(self.results[i].is_none(), "node {i} finished on two shards");
+                self.results[i] = result;
+                self.hists[i] = hist;
+            }
+        }
     }
 }
 
@@ -222,6 +261,13 @@ impl<A: Collector, B: Collector> Collector for (A, B) {
     fn on_node_done(&mut self, node: usize, stats: &NodeStats) {
         self.0.on_node_done(node, stats);
         self.1.on_node_done(node, stats);
+    }
+}
+
+impl<A: MergeCollector, B: MergeCollector> MergeCollector for (A, B) {
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+        self.1.merge(other.1);
     }
 }
 

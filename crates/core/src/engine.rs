@@ -253,13 +253,18 @@ impl Engine {
         self.cache.as_ref()
     }
 
-    fn effective_workers(&self, jobs: usize) -> usize {
-        let requested = match self.parallelism {
+    /// The worker budget this engine was configured with (before being
+    /// capped by a particular plan's job count).
+    fn requested_workers(&self) -> usize {
+        match self.parallelism {
             Some(Parallelism::Serial) => 1,
             Some(Parallelism::Workers(n)) => n,
             None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
-        };
-        requested.min(jobs.max(1))
+        }
+    }
+
+    fn effective_workers(&self, jobs: usize) -> usize {
+        self.requested_workers().min(jobs.max(1))
     }
 
     /// Runs an arbitrary per-job function over every job of `plan` —
@@ -323,6 +328,33 @@ impl Engine {
         F: Fn(usize) -> TopologySpec<'s> + Sync,
     {
         self.execute_jobs(plan, |job| run_topology(&spec_of(job.cell), job.seed))
+    }
+
+    /// Executes every job of `plan` as a **sharded** fleet run
+    /// ([`crate::runtime::run_topology_sharded`]): the fleet result plus
+    /// the per-shard breakdown.
+    ///
+    /// The engine's worker budget is split between the two levels of
+    /// parallelism: the job pool takes as many workers as it has jobs,
+    /// and whatever is left over parallelizes the shards *inside* each
+    /// run — a plan with one job on an 8-way engine runs its shards 8
+    /// wide, while a 50-job study keeps job-level parallelism and runs
+    /// each job's shards serially. Results are bit-identical either way
+    /// (see `run_topology_sharded`'s determinism contract). Like the
+    /// other fleet entry points, sharded jobs bypass the [`RunCache`].
+    pub fn execute_sharded<'s, F>(
+        &self,
+        plan: &JobPlan,
+        spec_of: F,
+    ) -> Vec<(usize, usize, crate::topology::ShardedFleetResult)>
+    where
+        F: Fn(usize) -> TopologySpec<'s> + Sync,
+    {
+        let outer = self.effective_workers(plan.jobs().len());
+        let intra = (self.requested_workers() / outer.max(1)).max(1);
+        self.execute_jobs(plan, |job| {
+            crate::runtime::run_topology_sharded(&spec_of(job.cell), job.seed, intra)
+        })
     }
 
     /// Executes every job of `plan` as a phased fleet run
@@ -518,6 +550,7 @@ mod tests {
             3,
         );
         let topo = TopologySpec {
+            shards: None,
             service: &service,
             server: &server,
             nodes: &nodes,
@@ -546,6 +579,7 @@ mod tests {
             nodes: &'a [ClientNode],
         ) -> TopologySpec<'a> {
             TopologySpec {
+                shards: None,
                 service,
                 server,
                 nodes,

@@ -25,12 +25,20 @@
 //!   [`NodeDynamics`] schedules deterministic phase boundaries at which
 //!   its machine configuration, offered rate and/or link switch, and
 //!   [`run_phased`] reports the per-phase latency regimes next to the
-//!   whole-run fleet result.
+//!   whole-run fleet result;
+//! * the server tier can be **sharded**
+//!   ([`crate::topology::ShardSpec`]): each shard is its own backend
+//!   machine and service instance, shards share no mutable state, and
+//!   the kernel partitions the run into independent per-shard
+//!   sub-simulations — executed serially here, or concurrently by
+//!   [`run_topology_sharded`] with bit-identical results whatever the
+//!   thread count or schedule.
 //!
 //! The single-node topology reproduces the historical monolithic loop's
 //! RNG stream layout exactly, so `run_once` is **bit-identical** to the
-//! pre-topology runtime, and a degenerate single-phase schedule is
-//! bit-identical to the static kernel (both pinned by
+//! pre-topology runtime, a degenerate single-phase schedule is
+//! bit-identical to the static kernel, and a one-shard tier is
+//! bit-identical to the unsharded kernel (all pinned by
 //! `tests/golden_runtime.rs`).
 
 use tpv_hw::MachineConfig;
@@ -41,9 +49,13 @@ use tpv_services::{NodeConn, RequestDescriptor, ServiceConfig, ServiceInstance};
 use tpv_sim::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime, Slab};
 
 use crate::collect::{
-    Collector, NodeStats, NullCollector, PerNodeCollector, PhaseCollector, PhaseStats, TraceCollector,
+    Collector, MergeCollector, NodeStats, NullCollector, PerNodeCollector, PhaseCollector, PhaseStats,
+    TraceCollector,
 };
-use crate::topology::{node_stream_keys, ClientNode, FleetResult, NodeDynamics, NodeResult, TopologySpec};
+use crate::topology::{
+    node_stream_keys, ClientNode, FleetResult, NodeDynamics, NodeResult, ShardResult, ShardedFleetResult,
+    TopologySpec,
+};
 
 /// Everything needed to execute one run.
 #[derive(Debug, Clone, Copy)]
@@ -337,6 +349,7 @@ pub fn run_once(spec: &RunSpec<'_>, seed: u64) -> RunResult {
     assert!(spec.qps > 0.0, "offered load must be positive, got {}", spec.qps);
     let nodes = [spec.client_node()];
     let topo = TopologySpec {
+        shards: None,
         service: spec.service,
         server: spec.server,
         nodes: &nodes,
@@ -357,6 +370,7 @@ pub fn run_traced(spec: &RunSpec<'_>, seed: u64, max_trace: usize) -> (RunResult
     assert!(spec.warmup < spec.duration, "warmup must be shorter than the run");
     let nodes = [spec.client_node()];
     let topo = TopologySpec {
+        shards: None,
         service: spec.service,
         server: spec.server,
         nodes: &nodes,
@@ -430,8 +444,17 @@ impl PhasedFleetResult {
 /// # Panics
 ///
 /// Panics if the topology has no nodes, any node's `qps` is not positive,
-/// any node's dynamics fail validation, or `warmup >= duration`.
+/// any node's dynamics fail validation, `warmup >= duration`, or the
+/// topology has a multi-shard tier: the pooled per-phase statistics
+/// accumulate float state in shard feed order, which would make them
+/// sensitive to shard enumeration — merge per-partition phase
+/// histograms in canonical key order before lifting this restriction.
 pub fn run_phased(topo: &TopologySpec<'_>, seed: u64) -> PhasedFleetResult {
+    assert!(
+        topo.shard_count() == 1,
+        "run_phased does not support multi-shard tiers (per-phase stats would not be \
+         shard-enumeration invariant); use run_topology_sharded for sharded runs"
+    );
     let mut collector = (
         PerNodeCollector::new(topo.nodes.len()),
         PhaseCollector::new(
@@ -451,16 +474,10 @@ pub fn run_phased(topo: &TopologySpec<'_>, seed: u64) -> PhasedFleetResult {
     PhasedFleetResult { fleet: FleetResult { aggregate, nodes }, phases: per_phase.into_stats() }
 }
 
-/// The topology kernel: executes one run, feeding observations to
-/// `collector`. This is the single hot loop behind [`run_once`],
-/// [`run_traced`] and [`run_topology`].
-///
-/// # Panics
-///
-/// Panics if the topology has no nodes, any node's `qps` is not positive,
-/// any node's dynamics fail validation (including a phased rate on a
-/// closed-loop generator), or `warmup >= duration`.
-pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector: &mut C) -> RunResult {
+/// Validates a topology before execution — shared by every kernel entry
+/// point, so hand-assembled specs fail loudly whichever door they come
+/// in through.
+fn validate_topology(topo: &TopologySpec<'_>) {
     assert!(!topo.nodes.is_empty(), "topology needs at least one client node");
     assert!(topo.nodes.len() <= u16::MAX as usize, "topology exceeds {} nodes", u16::MAX);
     for node in topo.nodes {
@@ -484,9 +501,222 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
         }
     }
     assert!(topo.warmup < topo.duration, "warmup must be shorter than the run");
+    if let Some(shards) = topo.shards {
+        shards.validate(topo.nodes.len());
+    }
+}
 
+/// One shard's slice of a run: the backend machine, the member nodes
+/// (global declaration index, node, content-addressed stream key) and
+/// the RNG the shard's service/server-environment streams fork from.
+/// The single-tier topology is exactly one partition covering the whole
+/// fleet.
+struct PartitionPlan<'a> {
+    /// Shard index in declaration order (0 for the single tier).
+    shard: usize,
+    /// Canonical content key: float aggregates merge across partitions
+    /// in `(key, shard)` order, so shard *enumeration* order cannot leak
+    /// into the aggregate through non-associative f64 addition. 0 for
+    /// the single tier.
+    key: u64,
+    server: &'a MachineConfig,
+    members: Vec<(usize, &'a ClientNode, u64)>,
+    /// Service and server-environment streams fork from here (the global
+    /// master for the single tier, a content-keyed fork per shard).
+    master: SimRng,
+    /// Replay the historical single-node stream layout (unsharded 1×1).
+    legacy_single: bool,
+}
+
+/// Splits a topology into its independent per-shard sub-simulations.
+///
+/// Shards share no mutable state — each partition gets its own service
+/// instance, event queue, slab and RNG streams — so partitions can run
+/// in any order, or concurrently, with bit-identical results. Per-node
+/// streams fork from the **global** master under node content keys:
+/// moving a node between shards (or resharding the tier) never changes
+/// the node's own arrival schedule or environment draws.
+fn build_partitions<'a>(topo: &TopologySpec<'a>, master: &SimRng) -> Vec<PartitionPlan<'a>> {
+    if topo.shard_count() == 1 {
+        // Degenerate tier: the unsharded kernel, with the single shard's
+        // machine as the server when a spec is present.
+        let server = topo.shards.map_or(topo.server, |s| &s.machines[0]);
+        let legacy_single = topo.nodes.len() == 1;
+        let members: Vec<(usize, &'a ClientNode, u64)> = if legacy_single {
+            vec![(0, &topo.nodes[0], 0)]
+        } else {
+            topo.nodes
+                .iter()
+                .enumerate()
+                .zip(node_stream_keys(topo.nodes))
+                .map(|((i, node), key)| (i, node, key))
+                .collect()
+        };
+        return vec![PartitionPlan {
+            shard: 0,
+            key: 0,
+            server,
+            members,
+            master: master.clone(),
+            legacy_single,
+        }];
+    }
+    let shards = topo.shards.expect("multi-shard topology");
+    let node_keys = node_stream_keys(topo.nodes);
+    let shard_keys = crate::topology::shard_stream_keys(&shards.machines);
+    let assignment = shards.assign(topo.nodes.len());
+    let mut plans: Vec<PartitionPlan<'a>> = shards
+        .machines
+        .iter()
+        .zip(&shard_keys)
+        .enumerate()
+        .map(|(shard, (server, &key))| PartitionPlan {
+            shard,
+            key,
+            server,
+            members: Vec::new(),
+            master: master.fork(key),
+            legacy_single: false,
+        })
+        .collect();
+    for ((i, node), (&shard, &key)) in topo.nodes.iter().enumerate().zip(assignment.iter().zip(&node_keys)) {
+        plans[shard].members.push((i, node, key));
+    }
+    plans
+}
+
+/// Everything one partition's sub-simulation produced: the pooled
+/// latency histogram plus the client-side counters of its member nodes.
+/// Merging outcomes (in canonical key order) reproduces the single-loop
+/// epilogue exactly.
+struct PartitionOutcome {
+    key: u64,
+    hist: LatencyHistogram,
+    late_sends: u64,
+    total_sends: u64,
+    total_slip: SimDuration,
+    wakes: [u64; 4],
+    energies: Vec<f64>,
+    truncated: u64,
+    /// Order-independent sum of the member nodes' effective loads.
+    target_qps: f64,
+}
+
+impl PartitionOutcome {
+    fn empty(key: u64) -> Self {
+        PartitionOutcome {
+            key,
+            hist: LatencyHistogram::new(),
+            late_sends: 0,
+            total_sends: 0,
+            total_slip: SimDuration::ZERO,
+            wakes: [0; 4],
+            energies: Vec::new(),
+            truncated: 0,
+            target_qps: 0.0,
+        }
+    }
+
+    /// This partition's pooled measurements as a [`RunResult`] — the
+    /// per-shard breakdown of a sharded run.
+    fn shard_run_result(&self, measured: SimDuration) -> RunResult {
+        RunResult::from_histogram(
+            &self.hist,
+            measured,
+            self.target_qps,
+            tpv_loadgen::SendStats {
+                late_sends: self.late_sends,
+                total_sends: self.total_sends,
+                total_slip: self.total_slip,
+            },
+            self.wakes,
+            crate::topology::stable_sum(self.energies.clone()),
+            self.truncated,
+        )
+    }
+}
+
+/// Merges partition outcomes into the whole-run aggregate. Integer
+/// counters sum exactly; float aggregates (histogram mean/variance,
+/// energy) merge in canonical `(key, shard)` order — respectively via
+/// `stable_sum` — so the result is independent of shard enumeration and
+/// execution order. A single partition merges into an empty histogram,
+/// which is bit-exact, keeping the unsharded path byte-identical to the
+/// historical single-loop epilogue.
+fn finish_run(topo: &TopologySpec<'_>, outcomes: &[PartitionOutcome]) -> RunResult {
+    let measured_dur = topo.duration - topo.warmup;
+    let mut order: Vec<usize> = (0..outcomes.len()).collect();
+    order.sort_by_key(|&i| (outcomes[i].key, i));
+    let mut hist = LatencyHistogram::new();
+    let mut wakes = [0u64; 4];
+    let mut energies: Vec<f64> = Vec::new();
+    let mut late_sends = 0u64;
+    let mut total_sends = 0u64;
+    let mut total_slip = SimDuration::ZERO;
+    let mut truncated = 0u64;
+    for &i in &order {
+        let o = &outcomes[i];
+        hist.merge(&o.hist);
+        for (acc, w) in wakes.iter_mut().zip(o.wakes) {
+            *acc += w;
+        }
+        energies.extend_from_slice(&o.energies);
+        late_sends += o.late_sends;
+        total_sends += o.total_sends;
+        total_slip += o.total_slip;
+        truncated += o.truncated;
+    }
+    RunResult::from_histogram(
+        &hist,
+        measured_dur,
+        // Time-averaged over any phased rates; bit-identical to
+        // `total_qps` for static topologies.
+        topo.offered_qps(),
+        tpv_loadgen::SendStats { late_sends, total_sends, total_slip },
+        wakes,
+        // Order-independent: permuting the fleet declaration must not
+        // perturb the aggregate through float non-associativity.
+        crate::topology::stable_sum(energies),
+        truncated,
+    )
+}
+
+/// The topology kernel: executes one run, feeding observations to
+/// `collector`. This is the single hot loop behind [`run_once`],
+/// [`run_traced`], [`run_topology`] and (per shard) the parallel
+/// [`run_topology_sharded`]. Sharded topologies execute their partitions
+/// serially here, feeding the one collector in shard declaration order.
+///
+/// # Panics
+///
+/// Panics if the topology has no nodes, any node's `qps` is not positive,
+/// any node's dynamics fail validation (including a phased rate on a
+/// closed-loop generator), the shard spec fails validation, or
+/// `warmup >= duration`.
+pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector: &mut C) -> RunResult {
+    validate_topology(topo);
     let master = SimRng::seed_from_u64(seed);
-    let single = topo.nodes.len() == 1;
+    let plans = build_partitions(topo, &master);
+    let outcomes: Vec<PartitionOutcome> =
+        plans.iter().map(|plan| run_partition(topo, plan, &master, collector)).collect();
+    finish_run(topo, &outcomes)
+}
+
+/// Executes one partition's sub-simulation: the member nodes against the
+/// partition's backend, through a private event queue, slab and service
+/// instance. Collector hooks receive **global** node indices.
+fn run_partition<C: Collector>(
+    topo: &TopologySpec<'_>,
+    part: &PartitionPlan<'_>,
+    global_master: &SimRng,
+    collector: &mut C,
+) -> PartitionOutcome {
+    if part.members.is_empty() {
+        // A shard with no assigned nodes serves nothing; its streams are
+        // never consumed, so adding shards cannot perturb loaded ones.
+        return PartitionOutcome::empty(part.key);
+    }
+    let master = &part.master;
     let mut service_rng = master.fork(3);
     let mut env_rng = master.fork(5);
 
@@ -496,14 +726,15 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
     // (client env then server env off one stream, descriptors off the
     // service stream), keeping `run_once` bit-identical to the
     // pre-topology runtime. Fleets give every node its own streams forked
-    // under its content key.
+    // under its content key — from the *global* master, so a node's
+    // randomness survives resharding unchanged.
     let window = (SimTime::ZERO + topo.warmup, SimTime::ZERO + topo.duration);
-    let mut states: Vec<NodeState<'_>> = Vec::with_capacity(topo.nodes.len());
+    let mut states: Vec<NodeState<'_>> = Vec::with_capacity(part.members.len());
     let server_env;
-    if single {
-        let node = &topo.nodes[0];
+    if part.legacy_single {
+        let node = part.members[0].1;
         let client_env = node.initial_machine().draw_environment(&mut env_rng);
-        server_env = topo.server.draw_environment(&mut env_rng);
+        server_env = part.server.draw_environment(&mut env_rng);
         states.push(NodeState::new(
             node,
             0,
@@ -516,9 +747,9 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
             window,
         ));
     } else {
-        server_env = topo.server.draw_environment(&mut env_rng);
-        for (node, key) in topo.nodes.iter().zip(node_stream_keys(topo.nodes)) {
-            let node_master = master.fork(key);
+        server_env = part.server.draw_environment(&mut env_rng);
+        for &(_, node, key) in &part.members {
+            let node_master = global_master.fork(key);
             let mut node_env_rng = node_master.fork(5);
             let client_env = node.initial_machine().draw_environment(&mut node_env_rng);
             states.push(NodeState::new(
@@ -535,10 +766,14 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
         }
     }
     let mut service =
-        ServiceInstance::new(topo.service, topo.server, &server_env, topo.duration, &mut service_rng);
+        ServiceInstance::new(topo.service, part.server, &server_env, topo.duration, &mut service_rng);
+
+    // Local (partition) node index → global declaration index, for the
+    // collector hooks.
+    let global: Vec<usize> = part.members.iter().map(|&(i, _, _)| i).collect();
 
     let total_conns: usize = states.iter().map(|s| s.conns.len()).sum();
-    // The fleet's aggregate send rate bounds the event spacing from
+    // The partition's aggregate send rate bounds the event spacing from
     // above (every request adds in-flight events on top), which is the
     // calendar queue's bucket-width hint.
     let total_qps: f64 = states.iter().map(|s| s.qps).sum();
@@ -592,7 +827,7 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
                 let plan = st.client.plan_send(conn as usize, now, &mut st.client_rng);
                 let raw = plan.wire + st.link.one_way(&mut st.net_rng);
                 let arrival = st.conns[conn as usize].deliver_to_server(raw);
-                collector.on_send(node as usize, conn, now, plan.wire);
+                collector.on_send(global[node as usize], conn, now, plan.wire);
                 if plan.stamp >= window_start && plan.stamp < window_end {
                     st.inflight_measured += 1;
                 }
@@ -656,7 +891,7 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
                 if r.stamp >= window_start && r.stamp < window_end {
                     st.inflight_measured -= 1;
                     hist.record(measured);
-                    collector.on_latency(r.node as usize, r.stamp, measured);
+                    collector.on_latency(global[r.node as usize], r.stamp, measured);
                 }
                 if st.loop_mode == LoopMode::Closed {
                     let next = recv.app + st.think_time;
@@ -674,26 +909,23 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
     // Whatever is left in flight was cut off by the drain horizon and is
     // missing from the histogram (right-censored tail).
     let measured_dur = topo.duration - topo.warmup;
-    let mut wakes = [0u64; 4];
-    let mut energies: Vec<f64> = Vec::with_capacity(states.len());
-    let mut late_sends = 0u64;
-    let mut total_sends = 0u64;
-    let mut total_slip = SimDuration::ZERO;
-    let mut truncated = 0u64;
+    let mut outcome = PartitionOutcome::empty(part.key);
+    let mut targets: Vec<f64> = Vec::with_capacity(states.len());
     for (node, st) in states.iter().enumerate() {
         let sends = st.client.send_stats();
         let node_wakes = st.client.wakes_by_state();
         let node_energy = st.client.energy_core_secs(window_end);
-        for (acc, w) in wakes.iter_mut().zip(node_wakes) {
+        for (acc, w) in outcome.wakes.iter_mut().zip(node_wakes) {
             *acc += w;
         }
-        energies.push(node_energy);
-        late_sends += sends.late_sends;
-        total_sends += sends.total_sends;
-        total_slip += sends.total_slip;
-        truncated += st.inflight_measured;
+        outcome.energies.push(node_energy);
+        outcome.late_sends += sends.late_sends;
+        outcome.total_sends += sends.total_sends;
+        outcome.total_slip += sends.total_slip;
+        outcome.truncated += st.inflight_measured;
+        targets.push(st.target_qps);
         collector.on_node_done(
-            node,
+            global[node],
             &NodeStats {
                 wakes: node_wakes,
                 energy_core_secs: node_energy,
@@ -704,20 +936,123 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
             },
         );
     }
+    outcome.hist = hist;
+    outcome.target_qps = crate::topology::stable_sum(targets);
+    outcome
+}
 
-    RunResult::from_histogram(
-        &hist,
-        measured_dur,
-        // Time-averaged over any phased rates; bit-identical to
-        // `total_qps` for static topologies.
-        topo.offered_qps(),
-        tpv_loadgen::SendStats { late_sends, total_sends, total_slip },
-        wakes,
-        // Order-independent: permuting the fleet declaration must not
-        // perturb the aggregate through float non-associativity.
-        crate::topology::stable_sum(energies),
-        truncated,
-    )
+/// Like [`run_topology`] for a sharded server tier: executes the
+/// topology's independent per-shard sub-simulations on up to `workers`
+/// scoped threads (the same self-scheduling pattern as
+/// [`crate::engine::Engine`]'s job pool) and returns the fleet view next
+/// to the per-shard breakdown.
+///
+/// Determinism contract: results are **bit-identical** whatever
+/// `workers`, the OS schedule, or the shard execution order — each shard
+/// is a self-contained simulation with content-addressed RNG streams,
+/// and all merges happen in stable orders. `workers == 1` is the fully
+/// serial execution; an unsharded topology is the degenerate single
+/// partition (identical to [`run_topology`]).
+///
+/// # Panics
+///
+/// Panics on the same invalid specs as [`run_collected`].
+pub fn run_topology_sharded(topo: &TopologySpec<'_>, seed: u64, workers: usize) -> ShardedFleetResult {
+    let n = topo.nodes.len();
+    let (aggregate, shards, collector) =
+        run_sharded_collected(topo, seed, workers, |_| PerNodeCollector::new(n));
+    let nodes = topo
+        .nodes
+        .iter()
+        .zip(collector.into_results())
+        .map(|(node, result)| NodeResult { label: node.label.clone(), result })
+        .collect();
+    ShardedFleetResult { fleet: FleetResult { aggregate, nodes }, shards }
+}
+
+/// The collector-generic parallel sharded kernel behind
+/// [`run_topology_sharded`]: every shard runs with its own collector
+/// (`make(shard)`), and the per-shard collectors are folded in stable
+/// shard order through [`MergeCollector::merge`]. Returns the aggregate
+/// result, the per-shard breakdowns (shard declaration order) and the
+/// merged collector.
+///
+/// The aggregate is bit-identical to feeding one collector through
+/// [`run_collected`] on the same topology; the merged collector matches
+/// too for the merge-order-insensitive collectors this trait is
+/// implemented on.
+///
+/// # Panics
+///
+/// Panics on the same invalid specs as [`run_collected`].
+pub fn run_sharded_collected<C, F>(
+    topo: &TopologySpec<'_>,
+    seed: u64,
+    workers: usize,
+    make: F,
+) -> (RunResult, Vec<ShardResult>, C)
+where
+    C: MergeCollector + Send,
+    F: Fn(usize) -> C + Sync,
+{
+    validate_topology(topo);
+    let master = SimRng::seed_from_u64(seed);
+    let plans = build_partitions(topo, &master);
+    let workers = workers.clamp(1, plans.len());
+    let per_shard: Vec<(PartitionOutcome, C)> = if workers <= 1 {
+        plans
+            .iter()
+            .map(|plan| {
+                let mut collector = make(plan.shard);
+                let outcome = run_partition(topo, plan, &master, &mut collector);
+                (outcome, collector)
+            })
+            .collect()
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        let out: std::sync::Mutex<Vec<(usize, PartitionOutcome, C)>> =
+            std::sync::Mutex::new(Vec::with_capacity(plans.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Self-scheduling: each worker claims the next
+                    // unclaimed shard, so a hot shard cannot idle the
+                    // pool while cold shards wait.
+                    let s = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(plan) = plans.get(s) else { break };
+                    let mut collector = make(plan.shard);
+                    let outcome = run_partition(topo, plan, &master, &mut collector);
+                    out.lock().expect("shard results poisoned").push((s, outcome, collector));
+                });
+            }
+        });
+        let mut collected = out.into_inner().expect("shard results poisoned");
+        collected.sort_by_key(|&(s, _, _)| s);
+        collected.into_iter().map(|(_, outcome, collector)| (outcome, collector)).collect()
+    };
+
+    let measured = topo.duration - topo.warmup;
+    let mut outcomes: Vec<PartitionOutcome> = Vec::with_capacity(per_shard.len());
+    let mut merged: Option<C> = None;
+    for (outcome, collector) in per_shard {
+        outcomes.push(outcome);
+        match &mut merged {
+            None => merged = Some(collector),
+            Some(acc) => acc.merge(collector),
+        }
+    }
+    let shards = outcomes
+        .iter()
+        .zip(&plans)
+        .map(|(outcome, plan)| ShardResult {
+            shard: plan.shard,
+            result: outcome.shard_run_result(measured),
+            nodes: plan.members.iter().map(|&(i, _, _)| i).collect(),
+        })
+        .collect();
+    let aggregate = finish_run(topo, &outcomes);
+    (aggregate, shards, merged.expect("at least one partition"))
 }
 
 #[cfg(test)]
@@ -891,6 +1226,7 @@ mod tests {
         let solo = run_once(&spec, 11);
         let nodes = [spec.client_node()];
         let topo = TopologySpec {
+            shards: None,
             service: &service,
             server: &server,
             nodes: &nodes,
@@ -919,6 +1255,7 @@ mod tests {
             4,
         );
         let topo = TopologySpec {
+            shards: None,
             service: &service,
             server: &server,
             nodes: &nodes,
@@ -956,11 +1293,25 @@ mod tests {
         let duration = SimDuration::from_ms(60);
         let warmup = SimDuration::from_ms(10);
         let clean = run_topology(
-            &TopologySpec { service: &service, server: &server, nodes: &all_good, duration, warmup },
+            &TopologySpec {
+                shards: None,
+                service: &service,
+                server: &server,
+                nodes: &all_good,
+                duration,
+                warmup,
+            },
             5,
         );
         let skewed = run_topology(
-            &TopologySpec { service: &service, server: &server, nodes: &one_bad, duration, warmup },
+            &TopologySpec {
+                shards: None,
+                service: &service,
+                server: &server,
+                nodes: &one_bad,
+                duration,
+                warmup,
+            },
             5,
         );
         assert!(

@@ -254,13 +254,130 @@ pub fn uniform_fleet(
         .collect()
 }
 
-/// Everything needed to execute one run of a topology: the shared server
-/// tier plus any number of client nodes.
+/// How client nodes map onto the server shards of a [`ShardSpec`].
+///
+/// Assignment is a pure function of the node's *declaration index* and
+/// the fleet/shard counts — deterministic and reproducible from the spec
+/// alone. [`ShardPolicy::Explicit`] exists for tests and replays where
+/// the mapping itself is the variable under study.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardPolicy {
+    /// Node `i` lands on shard `i mod K` — the uniform interleave.
+    RoundRobin,
+    /// Contiguous equal ranges: node `i` lands on shard `i * K / N`.
+    Range,
+    /// The skewed policy: the first `ceil(share * N)` nodes (at least
+    /// one) land on shard `hot`; the remainder round-robin across the
+    /// other shards in index order. Models an overloaded backend behind
+    /// an imbalanced router.
+    HotShard {
+        /// Index of the overloaded shard.
+        hot: usize,
+        /// Fraction of the fleet routed to it, in `(0, 1]`.
+        share: f64,
+    },
+    /// `assignment[i]` is node `i`'s shard.
+    Explicit(Vec<usize>),
+}
+
+/// The server tier of a sharded topology: `K` backend shards, each a
+/// full machine running its own service instance, plus the deterministic
+/// node→shard assignment. Shards share no mutable state — every shard
+/// has its own worker queues, key space and interference draws — which
+/// is what lets the kernel execute them as independent sub-simulations
+/// (see `tpv_core::runtime::run_topology_sharded`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSpec {
+    /// One server machine configuration per shard.
+    pub machines: Vec<MachineConfig>,
+    /// The node→shard assignment policy.
+    pub policy: ShardPolicy,
+}
+
+impl ShardSpec {
+    /// `count` identical shards with round-robin assignment.
+    pub fn uniform(machine: MachineConfig, count: usize) -> Self {
+        assert!(count > 0, "a server tier needs at least one shard");
+        ShardSpec { machines: vec![machine; count], policy: ShardPolicy::RoundRobin }
+    }
+
+    /// Returns a copy with the given assignment policy.
+    pub fn with_policy(mut self, policy: ShardPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Checks the spec against a fleet of `nodes` client nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tier, an out-of-range [`ShardPolicy::HotShard`]
+    /// or a malformed [`ShardPolicy::Explicit`] assignment.
+    pub fn validate(&self, nodes: usize) {
+        assert!(!self.machines.is_empty(), "a server tier needs at least one shard");
+        match &self.policy {
+            ShardPolicy::RoundRobin | ShardPolicy::Range => {}
+            ShardPolicy::HotShard { hot, share } => {
+                assert!(*hot < self.count(), "hot shard {hot} out of range (K = {})", self.count());
+                assert!(
+                    *share > 0.0 && *share <= 1.0 && share.is_finite(),
+                    "hot-shard share must be in (0, 1], got {share}"
+                );
+            }
+            ShardPolicy::Explicit(assignment) => {
+                assert_eq!(assignment.len(), nodes, "explicit assignment needs one shard per node");
+                for (i, &s) in assignment.iter().enumerate() {
+                    assert!(s < self.count(), "node {i} assigned to shard {s} of {}", self.count());
+                }
+            }
+        }
+    }
+
+    /// The node→shard assignment for a fleet of `nodes` client nodes, in
+    /// node declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ShardSpec::validate`].
+    pub fn assign(&self, nodes: usize) -> Vec<usize> {
+        self.validate(nodes);
+        let k = self.count();
+        match &self.policy {
+            ShardPolicy::RoundRobin => (0..nodes).map(|i| i % k).collect(),
+            ShardPolicy::Range => (0..nodes).map(|i| i * k / nodes.max(1)).collect(),
+            ShardPolicy::HotShard { hot, share } => {
+                let hot_nodes = ((share * nodes as f64).ceil() as usize).clamp(1, nodes);
+                let cold: Vec<usize> = (0..k).filter(|s| s != hot).collect();
+                (0..nodes)
+                    .map(|i| {
+                        if i < hot_nodes || cold.is_empty() {
+                            *hot
+                        } else {
+                            cold[(i - hot_nodes) % cold.len()]
+                        }
+                    })
+                    .collect()
+            }
+            ShardPolicy::Explicit(assignment) => assignment.clone(),
+        }
+    }
+}
+
+/// Everything needed to execute one run of a topology: the server tier
+/// plus any number of client nodes.
 #[derive(Debug, Clone, Copy)]
 pub struct TopologySpec<'a> {
     /// The benchmark service and its interference profile.
     pub service: &'a ServiceConfig,
-    /// Server machine configuration (the shared tier).
+    /// Server machine configuration of the single-tier case (exactly one
+    /// backend, every node's requests land on it). Ignored when
+    /// [`TopologySpec::shards`] is set — the shard spec then defines the
+    /// whole server tier, machine configurations included.
     pub server: &'a MachineConfig,
     /// The client fleet. One node is the paper's testbed; the order of
     /// declaration cannot influence any node's results.
@@ -269,6 +386,12 @@ pub struct TopologySpec<'a> {
     pub duration: SimDuration,
     /// Leading portion of the run excluded from measurement.
     pub warmup: SimDuration,
+    /// Sharded server tier. `None` — the common case — is the single
+    /// shared tier; `Some` with one shard is the same topology with the
+    /// shard's machine as the server (bit-identical to the unsharded
+    /// kernel); `Some` with `K > 1` partitions the run into independent
+    /// per-shard sub-simulations.
+    pub shards: Option<&'a ShardSpec>,
 }
 
 /// Order-independent f64 accumulation: float addition is not
@@ -320,6 +443,20 @@ impl TopologySpec<'_> {
             .filter_map(|n| n.dynamics.as_ref())
             .fold(PhaseSchedule::single(), |acc, dy| acc.merged(&dy.schedule))
     }
+
+    /// Number of server shards (1 for the single-tier case).
+    pub fn shard_count(&self) -> usize {
+        self.shards.map_or(1, ShardSpec::count)
+    }
+
+    /// The node→shard assignment in node declaration order (all zeros
+    /// for the single-tier case).
+    pub fn shard_assignment(&self) -> Vec<usize> {
+        match self.shards {
+            Some(s) => s.assign(self.nodes.len()),
+            None => vec![0; self.nodes.len()],
+        }
+    }
 }
 
 impl RunSpec<'_> {
@@ -338,8 +475,17 @@ impl RunSpec<'_> {
 /// clones.
 pub(crate) fn node_stream_keys(nodes: &[ClientNode]) -> Vec<u64> {
     let mut keys: Vec<u64> = nodes.iter().map(ClientNode::content_key).collect();
+    disambiguate_replicas(&mut keys);
+    keys
+}
+
+/// Remixes repeated content keys in place so the `n`-th replica of a
+/// content gets a stable key of its own: identical entries behave as
+/// independent machines rather than perfectly correlated clones, while
+/// the key of content's first appearance is the content key itself.
+fn disambiguate_replicas(keys: &mut [u64]) {
     let mut seen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
-    for key in &mut keys {
+    for key in keys {
         let replica = seen.entry(*key).or_insert(0);
         if *replica > 0 {
             // splitmix-style remix keeps replicas well separated from
@@ -349,6 +495,19 @@ pub(crate) fn node_stream_keys(nodes: &[ClientNode]) -> Vec<u64> {
         }
         *replica += 1;
     }
+}
+
+/// Per-shard RNG stream keys: each shard's service and server-environment
+/// randomness forks off the master seed under this key, so shard streams
+/// depend on what the shard *is* (its machine configuration), never on
+/// its enumeration index — permuting distinct shards (with their
+/// assignments) cannot change any shard's results. Identical shard
+/// machines are replica-disambiguated exactly like identical client
+/// nodes. The `"shard"` salt keeps these keys out of the node-stream key
+/// space even when a client and a shard share a machine configuration.
+pub(crate) fn shard_stream_keys(machines: &[MachineConfig]) -> Vec<u64> {
+    let mut keys: Vec<u64> = machines.iter().map(|m| crate::engine::fnv64_debug(&("shard", m))).collect();
+    disambiguate_replicas(&mut keys);
     keys
 }
 
@@ -373,6 +532,48 @@ pub struct FleetResult {
     pub aggregate: RunResult,
     /// Per-node breakdowns, in node declaration order.
     pub nodes: Vec<NodeResult>,
+}
+
+/// The measurements of one server shard over a sharded fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardResult {
+    /// Shard index in the [`ShardSpec`]'s declaration order.
+    pub shard: usize,
+    /// Pooled measurements over the shard's assigned nodes — the same
+    /// shape as a fleet aggregate, restricted to this backend. A shard
+    /// with no assigned nodes reports an empty result (zero samples).
+    pub result: RunResult,
+    /// Declaration indices of the client nodes assigned to this shard.
+    pub nodes: Vec<usize>,
+}
+
+/// The measurements of one sharded fleet run: the fleet view (aggregate
+/// plus per-node breakdowns, identical in shape to
+/// [`crate::runtime::run_topology`]'s result) next to the per-shard
+/// breakdown that reveals backend imbalance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedFleetResult {
+    /// Whole-run fleet view.
+    pub fleet: FleetResult,
+    /// Per-shard breakdowns, in shard declaration order.
+    pub shards: Vec<ShardResult>,
+}
+
+impl ShardedFleetResult {
+    /// The largest per-shard p99 — the hottest backend's tail.
+    pub fn worst_shard_p99(&self) -> SimDuration {
+        self.shards.iter().map(|s| s.result.p99).max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The smallest per-shard p99 among shards that served requests.
+    pub fn best_shard_p99(&self) -> SimDuration {
+        self.shards
+            .iter()
+            .filter(|s| s.result.samples > 0)
+            .map(|s| s.result.p99)
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
 }
 
 impl FleetResult {
@@ -471,6 +672,57 @@ mod tests {
             32,
         );
         assert!(wide.iter().all(|n| n.generator.connections == 1));
+    }
+
+    #[test]
+    fn shard_policies_assign_deterministically() {
+        let spec = ShardSpec::uniform(MachineConfig::server_baseline(), 4);
+        assert_eq!(spec.assign(8), vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        let range = spec.clone().with_policy(ShardPolicy::Range);
+        assert_eq!(range.assign(8), vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        // Hot shard takes ceil(share * N) leading nodes; the rest
+        // round-robin over the remaining shards.
+        let hot = spec.clone().with_policy(ShardPolicy::HotShard { hot: 1, share: 0.5 });
+        assert_eq!(hot.assign(8), vec![1, 1, 1, 1, 0, 2, 3, 0]);
+        let explicit = spec.with_policy(ShardPolicy::Explicit(vec![3, 3, 0, 0]));
+        assert_eq!(explicit.assign(4), vec![3, 3, 0, 0]);
+        // A single hot shard degenerates to "everything on it".
+        let solo = ShardSpec::uniform(MachineConfig::server_baseline(), 1)
+            .with_policy(ShardPolicy::HotShard { hot: 0, share: 0.25 });
+        assert_eq!(solo.assign(3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one shard per node")]
+    fn explicit_assignment_length_is_checked() {
+        ShardSpec::uniform(MachineConfig::server_baseline(), 2)
+            .with_policy(ShardPolicy::Explicit(vec![0]))
+            .assign(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hot_shard_index_is_checked() {
+        ShardSpec::uniform(MachineConfig::server_baseline(), 2)
+            .with_policy(ShardPolicy::HotShard { hot: 2, share: 0.5 })
+            .assign(4);
+    }
+
+    #[test]
+    fn shard_keys_are_content_addressed_and_salted() {
+        let base = MachineConfig::server_baseline();
+        let hp = MachineConfig::high_performance();
+        let keys = shard_stream_keys(&[base, hp, base]);
+        assert_ne!(keys[0], keys[1], "distinct machines get distinct shard keys");
+        assert_ne!(keys[0], keys[2], "replica shards are disambiguated");
+        // Enumeration-order symmetry for distinct content.
+        let swapped = shard_stream_keys(&[hp, base, base]);
+        assert_eq!(keys[1], swapped[0]);
+        assert_eq!(keys[0], swapped[1]);
+        // The salt keeps shard keys out of the node-key space: a node
+        // whose whole content is the machine config alone cannot collide
+        // by construction, but the key derivations must stay distinct.
+        assert_ne!(keys[0], crate::engine::fnv64_debug(&base));
     }
 
     #[test]

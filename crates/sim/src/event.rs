@@ -148,9 +148,19 @@ impl<E> EventQueue<E> {
     /// caller's event rate). A good hint puts a handful of events in
     /// each bucket from the first pop; the width adaptation then only
     /// has to track drift, not recover from a cold guess.
+    /// A degenerate hint is ignored: a zero spacing — how
+    /// `SimDuration::from_secs_f64(1.0 / qps)` encodes a zero, NaN or
+    /// infinite aggregate rate — keeps the default width instead of
+    /// pinning the queue to the narrowest bucket; huge spacings clamp to
+    /// the widest hintable bucket (saturating before the power-of-two
+    /// round-up, so they cannot overflow it).
     pub fn with_spacing(capacity: usize, expected_spacing: crate::SimDuration) -> Self {
         let mut q = Self::with_capacity(capacity);
-        let target = expected_spacing.as_ns().saturating_mul(2).max(1);
+        let ns = expected_spacing.as_ns();
+        if ns == 0 {
+            return q;
+        }
+        let target = ns.saturating_mul(2).min(1 << MAX_HINT_SHIFT);
         q.shift = target.next_power_of_two().trailing_zeros().clamp(MIN_SHIFT, MAX_HINT_SHIFT);
         q
     }
@@ -482,6 +492,26 @@ mod tests {
         }
         assert_eq!(expected, n);
         assert!(q.shift > initial_shift, "sparse-scan adaptation never widened the buckets");
+    }
+
+    #[test]
+    fn degenerate_spacing_hint_keeps_the_default_width() {
+        // A zero/NaN/infinite aggregate rate reaches the queue as a zero
+        // spacing (`SimDuration::from_secs_f64` clamps); the hint must
+        // fall back to the default width, not pin the narrowest bucket.
+        let q: EventQueue<()> = EventQueue::with_spacing(64, crate::SimDuration::ZERO);
+        assert_eq!(q.shift, INITIAL_SHIFT);
+        let from_nan = crate::SimDuration::from_secs_f64(1.0 / f64::NAN);
+        assert!(from_nan.is_zero());
+        let q: EventQueue<()> = EventQueue::with_spacing(64, from_nan);
+        assert_eq!(q.shift, INITIAL_SHIFT);
+        // A huge (but real) spacing clamps to the widest hintable bucket
+        // instead of overflowing the power-of-two round-up.
+        let q: EventQueue<()> = EventQueue::with_spacing(64, crate::SimDuration::MAX);
+        assert_eq!(q.shift, MAX_HINT_SHIFT);
+        // And a sane hint still lands between the bounds.
+        let q: EventQueue<()> = EventQueue::with_spacing(64, crate::SimDuration::from_us(4));
+        assert!((MIN_SHIFT..=MAX_HINT_SHIFT).contains(&q.shift));
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! `cargo test --test golden_runtime -- --ignored --nocapture`
 //! and paste the printed rows over `GOLDEN`.
 
-use tpv_core::runtime::{run_once, run_phased, RunResult, RunSpec};
-use tpv_core::topology::{NodeDynamics, TopologySpec};
+use tpv_core::runtime::{run_once, run_phased, run_topology_sharded, RunResult, RunSpec};
+use tpv_core::topology::{ClientNode, NodeDynamics, ShardPolicy, ShardSpec, TopologySpec};
 use tpv_hw::{CStatePolicy, MachineConfig};
 use tpv_loadgen::{GeneratorSpec, PointOfMeasurement, TimingMode};
 use tpv_net::LinkConfig;
@@ -164,18 +164,10 @@ fn cases() -> Vec<(&'static str, Parts)> {
     ]
 }
 
-fn observe(parts: &Parts, seed: u64) -> [u64; 16] {
-    let spec = RunSpec {
-        service: &parts.service,
-        server: &parts.server,
-        client: &parts.client,
-        generator: &parts.generator,
-        link: &parts.link,
-        qps: parts.qps,
-        duration: SimDuration::from_ms(60),
-        warmup: SimDuration::from_ms(6),
-    };
-    let r: RunResult = run_once(&spec, seed);
+/// The bit-exact 16-field projection every golden table pins — one
+/// definition, so the suites cannot silently pin different projections
+/// of a future `RunResult` field.
+fn golden_row(r: &RunResult) -> [u64; 16] {
     [
         r.avg.as_ns(),
         r.p50.as_ns(),
@@ -194,6 +186,21 @@ fn observe(parts: &Parts, seed: u64) -> [u64; 16] {
         r.client_energy_core_secs.to_bits(),
         r.truncated_inflight,
     ]
+}
+
+fn observe(parts: &Parts, seed: u64) -> [u64; 16] {
+    let spec = RunSpec {
+        service: &parts.service,
+        server: &parts.server,
+        client: &parts.client,
+        generator: &parts.generator,
+        link: &parts.link,
+        qps: parts.qps,
+        duration: SimDuration::from_ms(60),
+        warmup: SimDuration::from_ms(6),
+    };
+    let r: RunResult = run_once(&spec, seed);
+    golden_row(&r)
 }
 
 /// One pinned phased case: aggregate row in `GOLDEN` format plus
@@ -254,6 +261,7 @@ fn observe_phased(parts: &Parts, dynamics: &NodeDynamics, seed: u64) -> ([u64; 1
     };
     let nodes = [spec.client_node().with_dynamics(dynamics.clone())];
     let topo = TopologySpec {
+        shards: None,
         service: &parts.service,
         server: &parts.server,
         nodes: &nodes,
@@ -261,31 +269,63 @@ fn observe_phased(parts: &Parts, dynamics: &NodeDynamics, seed: u64) -> ([u64; 1
         warmup: spec.warmup,
     };
     let phased = run_phased(&topo, seed);
-    let r = &phased.fleet.aggregate;
-    let row = [
-        r.avg.as_ns(),
-        r.p50.as_ns(),
-        r.p99.as_ns(),
-        r.max.as_ns(),
-        r.std_dev.as_ns(),
-        r.samples,
-        r.achieved_qps.to_bits(),
-        r.target_qps.to_bits(),
-        r.late_send_fraction.to_bits(),
-        r.mean_send_slip.as_ns(),
-        r.client_wakes[0],
-        r.client_wakes[1],
-        r.client_wakes[2],
-        r.client_wakes[3],
-        r.client_energy_core_secs.to_bits(),
-        r.truncated_inflight,
-    ];
+    let row = golden_row(&phased.fleet.aggregate);
     let phases = phased.phases.iter().map(|p| [p.samples, p.p99.as_ns()]).collect();
     (row, phases)
 }
 
-/// Regeneration helper (not part of the suite): prints `GOLDEN` and
-/// `GOLDEN_PHASED` rows.
+/// One pinned sharded case: aggregate row in `GOLDEN` format plus
+/// per-shard `(samples, p99 ns)` pairs — a drift in the shard
+/// partitioning, the per-shard RNG streams or the canonical merge trips
+/// the pin. Observed through the *parallel* kernel, so the pin also
+/// guards thread-count independence against the serial suite.
+struct ShardedGolden {
+    name: &'static str,
+    seed: u64,
+    row: [u64; 16],
+    shards: &'static [[u64; 2]],
+}
+
+/// The sharded spec shapes under pin: a mixed HP/LP fleet over four
+/// uniform backends, with the uniform round-robin and the skewed
+/// hot-shard assignment.
+fn sharded_cases() -> Vec<(&'static str, ShardSpec, Vec<ClientNode>)> {
+    let gen = GeneratorSpec::mutilate().with_connections(20);
+    let nodes: Vec<ClientNode> = (0..8)
+        .map(|i| {
+            let machine =
+                if i % 4 == 3 { MachineConfig::low_power() } else { MachineConfig::high_performance() };
+            ClientNode::new(format!("agent{i}"), machine, gen, LinkConfig::cloudlab_lan(), 20_000.0)
+        })
+        .collect();
+    let tier = ShardSpec::uniform(MachineConfig::server_baseline(), 4);
+    vec![
+        ("memcached-sharded-rr", tier.clone(), nodes.clone()),
+        ("memcached-sharded-hot", tier.with_policy(ShardPolicy::HotShard { hot: 0, share: 0.5 }), nodes),
+    ]
+}
+
+fn observe_sharded(shards: &ShardSpec, nodes: &[ClientNode], seed: u64) -> ([u64; 16], Vec<[u64; 2]>) {
+    let service = ServiceConfig::new(ServiceKind::Memcached(KvConfig::default()));
+    let server = MachineConfig::server_baseline();
+    let topo = TopologySpec {
+        shards: Some(shards),
+        service: &service,
+        server: &server,
+        nodes,
+        duration: SimDuration::from_ms(60),
+        warmup: SimDuration::from_ms(6),
+    };
+    // Three workers over four shards: the parallel path with an uneven
+    // split, the strictest schedule to stay bit-identical under.
+    let sharded = run_topology_sharded(&topo, seed, 3);
+    let row = golden_row(&sharded.fleet.aggregate);
+    let shards_out = sharded.shards.iter().map(|s| [s.result.samples, s.result.p99.as_ns()]).collect();
+    (row, shards_out)
+}
+
+/// Regeneration helper (not part of the suite): prints `GOLDEN`,
+/// `GOLDEN_PHASED` and `GOLDEN_SHARDED` rows.
 #[test]
 #[ignore = "regeneration helper; run with --ignored --nocapture"]
 fn print_goldens() {
@@ -301,6 +341,15 @@ fn print_goldens() {
             let (row, phases) = observe_phased(&parts, &dynamics, seed);
             println!(
                 "    PhasedGolden {{ name: \"{name}\", seed: {seed}, row: {row:?}, phases: &{phases:?} }},"
+            );
+        }
+    }
+    println!();
+    for (name, shards, nodes) in sharded_cases() {
+        for seed in [2024u64, 7] {
+            let (row, per_shard) = observe_sharded(&shards, &nodes, seed);
+            println!(
+                "    ShardedGolden {{ name: \"{name}\", seed: {seed}, row: {row:?}, shards: &{per_shard:?} }},"
             );
         }
     }
@@ -335,6 +384,74 @@ const GOLDEN_PHASED: &[PhasedGolden] = &[
     PhasedGolden { name: "memcached-stepped-load", seed: 2024, row: [51501, 50175, 84991, 256161, 9666, 6752, 4683328892968379885, 4683821311287012011, 4568641754946632713, 3530, 13842, 0, 0, 0, 4612650086368026567, 0], phases: &[[1212, 74751], [5540, 84991]] },
     PhasedGolden { name: "memcached-stepped-load", seed: 7, row: [51065, 50175, 74751, 175549, 6960, 6758, 4683336528465794996, 4683821311287012011, 4571820073743848177, 3507, 13911, 0, 0, 0, 4612649697189464766, 0], phases: &[[1173, 68607], [5585, 75775]] },
 ];
+
+#[rustfmt::skip]
+const GOLDEN_SHARDED: &[ShardedGolden] = &[
+    ShardedGolden { name: "memcached-sharded-rr", seed: 2024, row: [63632, 52735, 219135, 309922, 29829, 8541, 4684674578123150677, 4684737570976825344, 4598062300206520783, 20139, 14529, 1201, 2499, 386, 4625057673236040905, 0], shards: &[[2122, 69631], [2132, 68607], [2152, 70655], [2135, 241663]] },
+    ShardedGolden { name: "memcached-sharded-rr", seed: 7, row: [61124, 52223, 210943, 275905, 26373, 8575, 4684696212032493492, 4684737570976825344, 4598135755496799562, 18319, 14538, 1334, 2475, 305, 4625038709249750079, 0], shards: &[[2126, 66559], [2120, 68607], [2172, 71679], [2157, 237567]] },
+    ShardedGolden { name: "memcached-sharded-hot", seed: 2024, row: [64096, 52735, 221183, 343783, 31147, 8540, 4684673941831699418, 4684737570976825344, 4598028424404894093, 20093, 14550, 1161, 2479, 408, 4625059539192180168, 0], shards: &[[4242, 227327], [2206, 227327], [1036, 66559], [1056, 68607]] },
+    ShardedGolden { name: "memcached-sharded-hot", seed: 7, row: [61601, 52735, 217087, 364560, 27905, 8575, 4684696212032493492, 4684737570976825344, 4598143272458414201, 18360, 14546, 1299, 2474, 322, 4625050384009145271, 0], shards: &[[4325, 192511], [2135, 241663], [1022, 67583], [1093, 66559]] },
+];
+
+/// A one-shard tier must reproduce the static `run_once` pins bit for
+/// bit — the shard layer's central invariant (K=1 is the degenerate
+/// case), checked against the same `GOLDEN` rows the static kernel is
+/// pinned by, through the *parallel* entry point.
+#[test]
+fn one_shard_tier_reproduces_the_static_goldens() {
+    let by_name = cases();
+    for g in GOLDEN {
+        let (_, parts) = by_name.iter().find(|(n, _)| *n == g.name).unwrap();
+        let spec = RunSpec {
+            service: &parts.service,
+            server: &parts.server,
+            client: &parts.client,
+            generator: &parts.generator,
+            link: &parts.link,
+            qps: parts.qps,
+            duration: SimDuration::from_ms(60),
+            warmup: SimDuration::from_ms(6),
+        };
+        let nodes = [spec.client_node()];
+        let one = ShardSpec::uniform(parts.server, 1);
+        let topo = TopologySpec {
+            shards: Some(&one),
+            service: &parts.service,
+            server: &parts.server,
+            nodes: &nodes,
+            duration: spec.duration,
+            warmup: spec.warmup,
+        };
+        let sharded = run_topology_sharded(&topo, g.seed, 4);
+        let row = golden_row(&sharded.fleet.aggregate);
+        assert_eq!(row, g.row, "{} seed {}: a one-shard tier drifted from the static pin", g.name, g.seed);
+    }
+}
+
+#[test]
+fn sharded_runs_match_their_pins() {
+    assert!(!GOLDEN_SHARDED.is_empty(), "sharded golden table must be populated");
+    let by_name = sharded_cases();
+    for g in GOLDEN_SHARDED {
+        let (_, shards, nodes) = by_name
+            .iter()
+            .find(|(n, _, _)| *n == g.name)
+            .unwrap_or_else(|| panic!("unknown sharded golden case {}", g.name));
+        let (row, per_shard) = observe_sharded(shards, nodes, g.seed);
+        assert_eq!(row, g.row, "{} seed {} aggregate drifted from the pin", g.name, g.seed);
+        assert_eq!(per_shard, g.shards, "{} seed {} per-shard stats drifted", g.name, g.seed);
+    }
+    // The pins themselves encode the findings: under the hot-shard
+    // assignment, shard 0 serves half the fleet (sample plurality) and
+    // its tail dwarfs the clean cold shards' — while a cold shard that
+    // drew an LP client can still post a comparable tail, the paper's
+    // client-side skew at shard granularity.
+    let hot =
+        GOLDEN_SHARDED.iter().find(|g| g.name == "memcached-sharded-hot").expect("hot-shard pin present");
+    assert!(hot.shards.iter().skip(1).all(|s| s[0] < hot.shards[0][0]), "hot pin must show the load skew");
+    let best_cold = hot.shards.iter().skip(1).map(|s| s[1]).min().expect("cold shards present");
+    assert!(hot.shards[0][1] > 2 * best_cold, "hot-shard tail must dwarf the clean cold shards");
+}
 
 /// A trivial all-covering phase schedule must reproduce the static
 /// `run_once` pins bit for bit — the phase layer's central invariant,

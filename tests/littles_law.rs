@@ -85,6 +85,7 @@ fn fleet_pooling_conserves_littles_law() {
         4,
     );
     let topo = TopologySpec {
+        shards: None,
         service: &service,
         server: &server,
         nodes: &nodes,
@@ -128,6 +129,7 @@ fn stepped_load_phases_obey_littles_law_per_phase() {
     )
     .with_dynamics(dynamics)];
     let topo = TopologySpec {
+        shards: None,
         service: &service,
         server: &server,
         nodes: &nodes,

@@ -28,7 +28,7 @@ fn topo<'a>(
     server: &'a MachineConfig,
     nodes: &'a [ClientNode],
 ) -> TopologySpec<'a> {
-    TopologySpec { service, server, nodes, duration: DURATION, warmup: WARMUP }
+    TopologySpec { shards: None, service, server, nodes, duration: DURATION, warmup: WARMUP }
 }
 
 /// A single all-covering phase — even with every aspect spelled out

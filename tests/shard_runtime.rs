@@ -1,0 +1,253 @@
+//! Determinism contracts of the sharded server tier: shards are
+//! independent sub-simulations, so execution strategy (thread count,
+//! schedule, enumeration order) is presentation, not physics.
+//!
+//! Complements `tests/golden_runtime.rs`, which pins the sharded kernel's
+//! values bit-for-bit (`GOLDEN_SHARDED`) and checks the degenerate K=1
+//! tier against every static golden row.
+
+use tpv_core::collect::EventCountCollector;
+use tpv_core::engine::{fingerprint_topology, Engine, JobPlan};
+use tpv_core::runtime::{run_collected, run_sharded_collected, run_topology, run_topology_sharded};
+use tpv_core::topology::{ClientNode, ShardPolicy, ShardSpec, ShardedFleetResult, TopologySpec};
+use tpv_hw::MachineConfig;
+use tpv_loadgen::GeneratorSpec;
+use tpv_net::LinkConfig;
+use tpv_services::kv::KvConfig;
+use tpv_services::{ServiceConfig, ServiceKind};
+use tpv_sim::SimDuration;
+
+fn kv_service() -> ServiceConfig {
+    ServiceConfig::without_interference(ServiceKind::Memcached(KvConfig {
+        preload_keys: 1_000,
+        ..KvConfig::default()
+    }))
+}
+
+/// A deliberately heterogeneous 8-node fleet: HP and LP machines, two
+/// link classes, uneven loads.
+fn mixed_fleet() -> Vec<ClientNode> {
+    let gen = GeneratorSpec::mutilate().with_connections(20);
+    (0..8)
+        .map(|i| {
+            let machine =
+                if i % 3 == 0 { MachineConfig::low_power() } else { MachineConfig::high_performance() };
+            let link = if i % 2 == 0 { LinkConfig::cloudlab_lan() } else { LinkConfig::cross_rack() };
+            ClientNode::new(format!("n{i}"), machine, gen, link, 10_000.0 + 1_000.0 * i as f64)
+        })
+        .collect()
+}
+
+fn topo<'a>(
+    service: &'a ServiceConfig,
+    server: &'a MachineConfig,
+    nodes: &'a [ClientNode],
+    shards: Option<&'a ShardSpec>,
+) -> TopologySpec<'a> {
+    TopologySpec {
+        shards,
+        service,
+        server,
+        nodes,
+        duration: SimDuration::from_ms(40),
+        warmup: SimDuration::from_ms(4),
+    }
+}
+
+#[test]
+fn serial_and_parallel_shard_execution_are_bit_identical() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let nodes = mixed_fleet();
+    let shards = ShardSpec::uniform(server, 4);
+    let spec = topo(&service, &server, &nodes, Some(&shards));
+    let serial = run_topology_sharded(&spec, 11, 1);
+    for workers in [2, 4, 8, 64] {
+        let parallel = run_topology_sharded(&spec, 11, workers);
+        assert_eq!(serial, parallel, "{workers} workers drifted from serial execution");
+    }
+    // The serial single-collector kernel (`run_collected` via
+    // `run_topology`) must agree with the partition-merged path too.
+    let fleet = run_topology(&spec, 11);
+    assert_eq!(serial.fleet, fleet, "run_topology disagrees with run_topology_sharded");
+    // Shape: every node appears on exactly one shard.
+    let mut seen: Vec<usize> = serial.shards.iter().flat_map(|s| s.nodes.iter().copied()).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..nodes.len()).collect::<Vec<_>>());
+    let pooled: u64 = serial.shards.iter().map(|s| s.result.samples).sum();
+    assert_eq!(serial.fleet.aggregate.samples, pooled, "shard breakdowns must pool to the aggregate");
+}
+
+#[test]
+fn shard_enumeration_order_is_presentation_not_physics() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let nodes = mixed_fleet();
+    // Two distinct backends; swap their enumeration and remap the
+    // explicit assignment so the same nodes land on the same machines.
+    let fast = MachineConfig::server_baseline();
+    let slow = MachineConfig::server_baseline().with_smt(true);
+    let assignment: Vec<usize> = (0..nodes.len()).map(|i| i % 2).collect();
+    let forward = ShardSpec { machines: vec![fast, slow], policy: ShardPolicy::Explicit(assignment.clone()) };
+    let swapped = ShardSpec {
+        machines: vec![slow, fast],
+        policy: ShardPolicy::Explicit(assignment.iter().map(|&s| 1 - s).collect()),
+    };
+    let a = run_topology_sharded(&topo(&service, &server, &nodes, Some(&forward)), 7, 4);
+    let b = run_topology_sharded(&topo(&service, &server, &nodes, Some(&swapped)), 7, 4);
+    // Per-node results are invariant under the relabeling...
+    for label in nodes.iter().map(|n| &n.label) {
+        assert_eq!(
+            a.fleet.node(label).unwrap().result,
+            b.fleet.node(label).unwrap().result,
+            "{label} differs under shard enumeration permutation"
+        );
+    }
+    // ...the aggregate is bit-identical (float merges happen in
+    // canonical content order, not enumeration order)...
+    assert_eq!(a.fleet.aggregate, b.fleet.aggregate);
+    // ...and the shard breakdowns swap along with the enumeration.
+    assert_eq!(a.shards[0].result, b.shards[1].result);
+    assert_eq!(a.shards[1].result, b.shards[0].result);
+}
+
+#[test]
+fn node_to_shard_assignment_travels_with_the_nodes() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let base = mixed_fleet();
+    let shards = ShardSpec::uniform(server, 3);
+    let assignment = shards.assign(base.len());
+    let spec_a =
+        ShardSpec { machines: shards.machines.clone(), policy: ShardPolicy::Explicit(assignment.clone()) };
+    let a = run_topology_sharded(&topo(&service, &server, &base, Some(&spec_a)), 21, 4);
+    // Permute the declaration order and permute the explicit assignment
+    // identically: every node keeps its shard, so every per-node result
+    // and the aggregate must be unchanged.
+    let order = [5usize, 2, 7, 0, 3, 6, 1, 4];
+    let permuted: Vec<ClientNode> = order.iter().map(|&i| base[i].clone()).collect();
+    let spec_b = ShardSpec {
+        machines: shards.machines.clone(),
+        policy: ShardPolicy::Explicit(order.iter().map(|&i| assignment[i]).collect()),
+    };
+    let b = run_topology_sharded(&topo(&service, &server, &permuted, Some(&spec_b)), 21, 4);
+    for label in base.iter().map(|n| &n.label) {
+        assert_eq!(
+            a.fleet.node(label).unwrap().result,
+            b.fleet.node(label).unwrap().result,
+            "{label} differs under node permutation"
+        );
+    }
+    assert_eq!(a.fleet.aggregate, b.fleet.aggregate);
+}
+
+#[test]
+fn one_shard_tier_is_the_unsharded_kernel() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let nodes = mixed_fleet();
+    let unsharded = run_topology(&topo(&service, &server, &nodes, None), 5);
+    let one = ShardSpec::uniform(server, 1);
+    let sharded = run_topology_sharded(&topo(&service, &server, &nodes, Some(&one)), 5, 4);
+    assert_eq!(sharded.fleet, unsharded, "K=1 must be bit-identical to the unsharded kernel");
+    assert_eq!(sharded.shards.len(), 1);
+    assert_eq!(sharded.shards[0].result.samples, unsharded.aggregate.samples);
+}
+
+#[test]
+fn empty_shards_are_inert() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let nodes: Vec<ClientNode> = mixed_fleet().into_iter().take(3).collect();
+    // Round-robin over 8 shards leaves shards 3..8 without nodes; their
+    // streams are never consumed, so the loaded shards must behave
+    // exactly as in the 3-shard tier.
+    let wide = ShardSpec::uniform(server, 8);
+    let narrow = ShardSpec::uniform(server, 3);
+    let a = run_topology_sharded(&topo(&service, &server, &nodes, Some(&wide)), 9, 4);
+    let b = run_topology_sharded(&topo(&service, &server, &nodes, Some(&narrow)), 9, 4);
+    assert_eq!(a.fleet, b.fleet, "idle shards must not perturb loaded ones");
+    for idle in &a.shards[3..] {
+        assert_eq!(idle.result.samples, 0);
+        assert!(idle.nodes.is_empty());
+        assert_eq!(idle.result.target_qps, 0.0);
+    }
+}
+
+#[test]
+fn hot_shard_policy_skews_the_per_shard_tail() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let gen = GeneratorSpec::mutilate().with_connections(20);
+    let nodes: Vec<ClientNode> = (0..16)
+        .map(|i| {
+            ClientNode::new(
+                format!("agent{i}"),
+                MachineConfig::high_performance(),
+                gen,
+                LinkConfig::cloudlab_lan(),
+                60_000.0,
+            )
+        })
+        .collect();
+    let uniform = ShardSpec::uniform(server, 4);
+    let hot = ShardSpec::uniform(server, 4).with_policy(ShardPolicy::HotShard { hot: 1, share: 0.5 });
+    let u = run_topology_sharded(&topo(&service, &server, &nodes, Some(&uniform)), 13, 4);
+    let h = run_topology_sharded(&topo(&service, &server, &nodes, Some(&hot)), 13, 4);
+    // The hot backend serves half the fleet on one machine: its tail
+    // must exceed the cold shards' and widen the per-shard spread well
+    // beyond the uniform tier's.
+    assert_eq!(h.shards[1].nodes.len(), 8);
+    assert_eq!(h.worst_shard_p99(), h.shards[1].result.p99, "the hot shard owns the worst tail");
+    let h_spread = h.worst_shard_p99().as_us() / h.best_shard_p99().as_us();
+    let u_spread = u.worst_shard_p99().as_us() / u.best_shard_p99().as_us();
+    assert!(h_spread > u_spread, "hot-shard spread {h_spread:.2}x must exceed uniform spread {u_spread:.2}x");
+}
+
+#[test]
+#[should_panic(expected = "does not support multi-shard tiers")]
+fn run_phased_rejects_multi_shard_tiers() {
+    // Per-phase pooled stats accumulate float state in shard feed
+    // order, which would break shard-enumeration invariance — so the
+    // combination is rejected loudly instead of being subtly wrong.
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let nodes = mixed_fleet();
+    let shards = ShardSpec::uniform(server, 4);
+    tpv_core::runtime::run_phased(&topo(&service, &server, &nodes, Some(&shards)), 1);
+}
+
+#[test]
+fn merged_event_counts_match_the_serial_collector() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let nodes = mixed_fleet();
+    let shards = ShardSpec::uniform(server, 4);
+    let spec = topo(&service, &server, &nodes, Some(&shards));
+    let mut serial = EventCountCollector::new();
+    let serial_result = run_collected(&spec, 3, &mut serial);
+    let (parallel_result, shard_results, merged) =
+        run_sharded_collected(&spec, 3, 4, |_| EventCountCollector::new());
+    assert_eq!(serial_result, parallel_result);
+    assert_eq!(serial.events(), merged.events(), "per-shard event counts must merge to the serial count");
+    assert_eq!(shard_results.len(), 4);
+}
+
+#[test]
+fn engine_execute_sharded_is_parallelism_invariant() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let nodes = mixed_fleet();
+    let shards = ShardSpec::uniform(server, 4);
+    let spec = topo(&service, &server, &nodes, Some(&shards));
+    let plan = JobPlan::new(17, &[fingerprint_topology(&spec)], 3).shuffled(99);
+    let serial = Engine::serial().execute_sharded(&plan, |_| spec);
+    let parallel = Engine::with_workers(8).execute_sharded(&plan, |_| spec);
+    assert_eq!(serial, parallel, "engine scheduling must not change sharded results");
+    assert_eq!(serial.len(), 3);
+    let direct: Vec<(usize, usize, ShardedFleetResult)> =
+        plan.jobs().iter().map(|j| (j.cell, j.run, run_topology_sharded(&spec, j.seed, 1))).collect();
+    let mut direct_sorted = direct;
+    direct_sorted.sort_by_key(|&(c, r, _)| (c, r));
+    assert_eq!(serial, direct_sorted, "engine jobs must equal direct sharded runs");
+}

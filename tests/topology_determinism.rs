@@ -47,6 +47,7 @@ fn run_with_order(order: &[usize], seed: u64) -> tpv_core::topology::FleetResult
     let service = kv_service();
     let server = MachineConfig::server_baseline();
     let topo = TopologySpec {
+        shards: None,
         service: &service,
         server: &server,
         nodes: &nodes,
@@ -86,6 +87,7 @@ fn identical_configs_with_distinct_labels_are_independent_machines() {
     let service = kv_service();
     let server = MachineConfig::server_baseline();
     let topo = TopologySpec {
+        shards: None,
         service: &service,
         server: &server,
         nodes: &nodes,
@@ -112,6 +114,7 @@ fn replica_nodes_with_equal_labels_are_also_independent() {
     let service = kv_service();
     let server = MachineConfig::server_baseline();
     let topo = TopologySpec {
+        shards: None,
         service: &service,
         server: &server,
         nodes: &nodes,
@@ -145,6 +148,7 @@ fn single_node_topology_is_run_once() {
     let solo = run_once(&spec, 77);
     let nodes = [spec.client_node()];
     let topo = TopologySpec {
+        shards: None,
         service: &service,
         server: &server,
         nodes: &nodes,
