@@ -119,6 +119,7 @@ fn bench_fleet_run(c: &mut Criterion) {
                 nodes: &fleet,
                 duration: SimDuration::from_ms(50),
                 warmup: SimDuration::from_ms(5),
+                cohorts: &[],
             };
             let mut seed = 0u64;
             b.iter(|| {

@@ -12,11 +12,19 @@
 //! Versioning: bump [`SCHEMA`] whenever a field changes meaning; the
 //! parser rejects reports from a different schema so a stale baseline
 //! fails loudly instead of comparing apples to oranges.
+//!
+//! Schema 3 hardens the statistics: every scenario carries its per-run
+//! trial wall times (after [`iqr_filter`] outlier rejection) so the
+//! baseline gate can require a Mann–Whitney-significant slowdown instead
+//! of trusting a lone median ratio, plus the repeat count used to pad
+//! short scenarios above the timer floor and the process peak RSS
+//! observed after the scenario ran (the cohort layer's flat-memory
+//! gate).
 
 use std::fmt::Write as _;
 
 /// Schema identifier written into every report.
-pub const SCHEMA: &str = "tpv-perf/2";
+pub const SCHEMA: &str = "tpv-perf/3";
 
 /// Warn (but do not fail) when events/sec falls below `baseline / WARN`.
 pub const WARN_FACTOR: f64 = 1.25;
@@ -48,6 +56,20 @@ pub struct ScenarioReport {
     /// `wall_ms_serial / wall_ms_median` — the intra-run parallel
     /// speedup; `0.0` when not dual-timed.
     pub speedup_vs_serial: f64,
+    /// Kernel runs per timed trial. Short scenarios are repeated until a
+    /// trial spends at least ~50 ms on the clock; all `wall_ms_*` values
+    /// are already divided down to per-run milliseconds.
+    pub repeats: usize,
+    /// Process peak RSS (`VmHWM`) in kB right after this scenario ran;
+    /// `0` when the platform does not expose it. Monotonic over the
+    /// process lifetime, so matrix order matters: the flat-memory gate
+    /// compares a later scenario's peak against an earlier one's.
+    pub peak_rss_kb: u64,
+    /// Per-run wall time of every *retained* timed trial (after
+    /// [`iqr_filter`]), in milliseconds — the sample behind
+    /// `wall_ms_median`, kept so [`compare`] can run a Mann–Whitney test
+    /// between a fresh probe and the baseline.
+    pub wall_ms_trials: Vec<f64>,
 }
 
 /// The full probe output: what `BENCH.json` holds.
@@ -80,7 +102,11 @@ impl BenchReport {
             let _ = writeln!(out, "      \"wall_ms_cov\": {:.4},", s.wall_ms_cov);
             let _ = writeln!(out, "      \"events_per_sec\": {:.1},", s.events_per_sec);
             let _ = writeln!(out, "      \"wall_ms_serial\": {:.4},", s.wall_ms_serial);
-            let _ = writeln!(out, "      \"speedup_vs_serial\": {:.4}", s.speedup_vs_serial);
+            let _ = writeln!(out, "      \"speedup_vs_serial\": {:.4},", s.speedup_vs_serial);
+            let _ = writeln!(out, "      \"repeats\": {},", s.repeats);
+            let _ = writeln!(out, "      \"peak_rss_kb\": {},", s.peak_rss_kb);
+            let trials: Vec<String> = s.wall_ms_trials.iter().map(|t| format!("{t:.4}")).collect();
+            let _ = writeln!(out, "      \"wall_ms_trials\": [{}]", trials.join(", "));
             out.push_str(if i + 1 == self.scenarios.len() { "    }\n" } else { "    },\n" });
         }
         out.push_str("  ]\n}\n");
@@ -113,6 +139,9 @@ impl BenchReport {
                 events_per_sec: json::get_f64(s, "events_per_sec")?,
                 wall_ms_serial: json::get_f64(s, "wall_ms_serial")?,
                 speedup_vs_serial: json::get_f64(s, "speedup_vs_serial")?,
+                repeats: json::get_f64(s, "repeats")? as usize,
+                peak_rss_kb: json::get_f64(s, "peak_rss_kb")? as u64,
+                wall_ms_trials: json::get_f64_array(s, "wall_ms_trials")?,
             });
         }
         Ok(BenchReport { schema: schema.to_string(), quick, scenarios })
@@ -156,13 +185,40 @@ pub enum Verdict {
     },
 }
 
+/// Tukey-fence outlier rejection: drops samples outside
+/// `[Q1 - 1.5·IQR, Q3 + 1.5·IQR]`. A descheduled trial (GC of another
+/// tenant, a CI runner napping) lands far outside the fences and would
+/// otherwise drag both the median and the CoV; fewer than four samples
+/// pass through untouched — the quartiles are meaningless below that.
+pub fn iqr_filter(samples: &[f64]) -> Vec<f64> {
+    if samples.len() < 4 {
+        return samples.to_vec();
+    }
+    let q1 = tpv_stats::desc::percentile(samples, 25.0);
+    let q3 = tpv_stats::desc::percentile(samples, 75.0);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = samples.iter().copied().filter(|&v| v >= lo && v <= hi).collect();
+    // Degenerate fences (all-equal quartiles with NaN noise) must not
+    // empty the sample; fall back to the raw trials.
+    if kept.is_empty() {
+        samples.to_vec()
+    } else {
+        kept
+    }
+}
+
 /// Compares a fresh report against the checked-in baseline.
 ///
 /// The contract is deliberately loose — CI runners are noisy, so only a
 /// slowdown worse than `max_regression`× **fails**; anything slower than
-/// `baseline / `[`WARN_FACTOR`] warns. A scenario whose deterministic
-/// work counters (events, requests) differ from the baseline also warns:
-/// the baseline predates a semantic change and should be refreshed.
+/// `baseline / `[`WARN_FACTOR`] warns. When both reports carry per-trial
+/// wall times (schema 3), a median slowdown beyond the gate must *also*
+/// be Mann–Whitney significant (α = 0.05) between the two trial samples
+/// to fail — a single wild median on an otherwise overlapping spread
+/// downgrades to a warning. A scenario whose deterministic work counters
+/// (events, requests) differ from the baseline also warns: the baseline
+/// predates a semantic change and should be refreshed.
 pub fn compare(current: &BenchReport, baseline: &BenchReport, max_regression: f64) -> Vec<Verdict> {
     assert!(max_regression >= 1.0, "max_regression is a slowdown factor, got {max_regression}");
     let mut verdicts = Vec::new();
@@ -204,14 +260,39 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, max_regression: f6
             });
         }
         if speedup * max_regression < 1.0 {
-            verdicts.push(Verdict::Fail {
-                scenario: base.name.clone(),
-                speedup,
-                reason: format!(
-                    "events/sec {:.0} is worse than baseline {:.0} / {max_regression} (speedup {speedup:.2}x)",
-                    cur.events_per_sec, base.events_per_sec
-                ),
-            });
+            // A median beyond the gate fails only when the slowdown is
+            // also statistically significant across the retained trials;
+            // with no trial samples on either side (a schema-2-era or
+            // hand-trimmed baseline) the median ratio stands alone.
+            let significance = tpv_stats::mann_whitney_u(&cur.wall_ms_trials, &base.wall_ms_trials);
+            match significance {
+                Some(mw) if !mw.differs(0.05) => {
+                    verdicts.push(Verdict::Warn {
+                        scenario: base.name.clone(),
+                        speedup,
+                        reason: format!(
+                            "median events/sec {:.0} breaches baseline {:.0} / {max_regression}, but the \
+                             trial spreads overlap (Mann-Whitney p = {:.3}) — rerun before trusting it",
+                            cur.events_per_sec, base.events_per_sec, mw.p_value
+                        ),
+                    });
+                }
+                _ => {
+                    verdicts.push(Verdict::Fail {
+                        scenario: base.name.clone(),
+                        speedup,
+                        reason: format!(
+                            "events/sec {:.0} is worse than baseline {:.0} / {max_regression} (speedup {speedup:.2}x{})",
+                            cur.events_per_sec,
+                            base.events_per_sec,
+                            significance.map_or(String::new(), |mw| format!(
+                                ", Mann-Whitney p = {:.4}",
+                                mw.p_value
+                            ))
+                        ),
+                    });
+                }
+            }
         } else if speedup * WARN_FACTOR < 1.0 {
             verdicts.push(Verdict::Warn {
                 scenario: base.name.clone(),
@@ -357,6 +438,17 @@ mod json {
             Value::Num(n) => Ok(*n),
             other => Err(format!("'{key}' must be a number, got {other:?}")),
         }
+    }
+
+    pub fn get_f64_array(obj: &[(String, Value)], key: &str) -> Result<Vec<f64>, String> {
+        let items = get(obj, key)?.as_array().ok_or_else(|| format!("'{key}' must be an array"))?;
+        items
+            .iter()
+            .map(|v| match v {
+                Value::Num(n) => Ok(*n),
+                other => Err(format!("'{key}' entries must be numbers, got {other:?}")),
+            })
+            .collect()
     }
 
     pub fn get_bool(obj: &[(String, Value)], key: &str) -> Result<bool, String> {
@@ -522,6 +614,9 @@ mod tests {
                     events_per_sec: 10_082_461.5,
                     wall_ms_serial: 0.0,
                     speedup_vs_serial: 0.0,
+                    repeats: 16,
+                    peak_rss_kb: 14_200,
+                    wall_ms_trials: vec![3.21, 3.25, 3.30, 3.24, 3.27],
                 },
                 ScenarioReport {
                     name: "fleet_16".to_string(),
@@ -533,6 +628,9 @@ mod tests {
                     events_per_sec: 11_764_705.9,
                     wall_ms_serial: 160.1,
                     speedup_vs_serial: 3.7671,
+                    repeats: 2,
+                    peak_rss_kb: 18_944,
+                    wall_ms_trials: vec![42.1, 42.5, 43.0, 42.4, 42.9],
                 },
             ],
         }
@@ -553,6 +651,12 @@ mod tests {
             assert!((a.events_per_sec - b.events_per_sec).abs() < 1.0);
             assert!((a.wall_ms_serial - b.wall_ms_serial).abs() < 1e-3);
             assert!((a.speedup_vs_serial - b.speedup_vs_serial).abs() < 1e-3);
+            assert_eq!(a.repeats, b.repeats);
+            assert_eq!(a.peak_rss_kb, b.peak_rss_kb);
+            assert_eq!(a.wall_ms_trials.len(), b.wall_ms_trials.len());
+            for (x, y) in a.wall_ms_trials.iter().zip(&b.wall_ms_trials) {
+                assert!((x - y).abs() < 1e-3);
+            }
         }
     }
 
@@ -572,6 +676,9 @@ mod tests {
             events_per_sec: 10.0,
             wall_ms_serial: 4.0,
             speedup_vs_serial: 4.0,
+            repeats: 1,
+            peak_rss_kb: 0,
+            wall_ms_trials: vec![1.0, 1.1],
         });
         let refreshed = refreshed_baseline(Some(base.clone()), &current);
         // Replaced in place, untouched entries kept, new ones appended.
@@ -592,6 +699,9 @@ mod tests {
         let mut current = sample();
         current.scenarios[0].events_per_sec *= 1.10;
         current.scenarios[1].events_per_sec /= 3.0;
+        for t in &mut current.scenarios[1].wall_ms_trials {
+            *t *= 3.0; // a real slowdown: walls stretch with the rate
+        }
         let md = summary_markdown(&current, Some((&baseline, 2.0)));
         assert!(md.contains("| static_1x1 |"), "{md}");
         assert!(md.contains("+10.0%"), "{md}");
@@ -633,13 +743,58 @@ mod tests {
         let verdicts = compare(&slower, &baseline, 2.0);
         assert!(verdicts.iter().all(|v| matches!(v, Verdict::Warn { .. })), "{verdicts:?}");
 
-        // 3x slower: fails the 2x gate.
+        // 3x slower — walls stretched to match, so the slowdown is both
+        // beyond the gate and Mann-Whitney significant: fails.
         let mut much_slower = baseline.clone();
         for s in &mut much_slower.scenarios {
             s.events_per_sec /= 3.0;
+            for t in &mut s.wall_ms_trials {
+                *t *= 3.0;
+            }
         }
         let verdicts = compare(&much_slower, &baseline, 2.0);
         assert!(verdicts.iter().all(|v| matches!(v, Verdict::Fail { .. })), "{verdicts:?}");
+    }
+
+    #[test]
+    fn compare_downgrades_insignificant_breaches() {
+        let mut baseline = sample();
+        let mut current = sample();
+        // Median events/sec breaches the 2x gate, but the trial spreads
+        // interleave — no statistically detectable slowdown.
+        baseline.scenarios.truncate(1);
+        current.scenarios.truncate(1);
+        baseline.scenarios[0].wall_ms_trials = vec![10.0, 1_000.0, 12.0, 1_002.0];
+        current.scenarios[0].wall_ms_trials = vec![11.0, 1_001.0, 13.0, 1_003.0];
+        current.scenarios[0].events_per_sec = baseline.scenarios[0].events_per_sec / 3.0;
+        let verdicts = compare(&current, &baseline, 2.0);
+        assert!(
+            matches!(&verdicts[0], Verdict::Warn { reason, .. } if reason.contains("overlap")),
+            "an insignificant breach must warn, not fail: {verdicts:?}"
+        );
+
+        // Strip the trial samples (schema-2-era baseline): the median
+        // ratio stands alone again and the same breach hard-fails.
+        baseline.scenarios[0].wall_ms_trials.clear();
+        current.scenarios[0].wall_ms_trials.clear();
+        let verdicts = compare(&current, &baseline, 2.0);
+        assert!(
+            matches!(&verdicts[0], Verdict::Fail { .. }),
+            "without trial samples the ratio gate must still bind: {verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn iqr_filter_drops_descheduled_trials_only() {
+        // One wild trial (a napping runner) falls outside the Tukey
+        // fences; the tight cluster survives untouched.
+        let kept = iqr_filter(&[5.0, 5.1, 4.9, 5.05, 250.0, 5.02]);
+        assert_eq!(kept.len(), 5);
+        assert!(kept.iter().all(|&v| v < 6.0), "{kept:?}");
+        // Fewer than four samples: quartiles are meaningless, keep all.
+        assert_eq!(iqr_filter(&[1.0, 500.0, 2.0]), vec![1.0, 500.0, 2.0]);
+        // An identical cluster never filters itself away.
+        assert_eq!(iqr_filter(&[7.0; 6]).len(), 6);
     }
 
     #[test]
@@ -657,6 +812,9 @@ mod tests {
         let mut drifted_and_slow = baseline.clone();
         drifted_and_slow.scenarios[0].events += 1;
         drifted_and_slow.scenarios[0].events_per_sec /= 3.0;
+        for t in &mut drifted_and_slow.scenarios[0].wall_ms_trials {
+            *t *= 3.0;
+        }
         let verdicts = compare(&drifted_and_slow, &baseline, 2.0);
         assert!(
             verdicts
@@ -690,6 +848,9 @@ mod tests {
             events_per_sec: 1.0,
             wall_ms_serial: 0.0,
             speedup_vs_serial: 0.0,
+            repeats: 1,
+            peak_rss_kb: 0,
+            wall_ms_trials: Vec::new(),
         });
         let verdicts = compare(&extra, &baseline, 2.0);
         assert!(

@@ -58,8 +58,15 @@ pub(crate) fn run(ctx: &StudyCtx) {
     .into_iter()
     .map(|n| n.with_dynamics(dynamics.clone()))
     .collect();
-    let topo =
-        TopologySpec { shards: None, service: &service, server: &server, nodes: &nodes, duration, warmup };
+    let topo = TopologySpec {
+        shards: None,
+        service: &service,
+        server: &server,
+        nodes: &nodes,
+        duration,
+        warmup,
+        cohorts: &[],
+    };
     let per_cell = ctx.run_phased_cells(&[topo], runs, env_seed());
     let samples = &per_cell[0];
 

@@ -69,6 +69,7 @@ pub(crate) fn run(ctx: &StudyCtx) {
             nodes,
             duration,
             warmup,
+            cohorts: &[],
         })
         .collect();
     let per_cell = ctx.run_fleet_cells(&topos, runs, env_seed());

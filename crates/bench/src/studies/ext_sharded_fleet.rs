@@ -94,6 +94,7 @@ pub(crate) fn run(ctx: &StudyCtx) {
             nodes,
             duration,
             warmup,
+            cohorts: &[],
         })
         .collect();
     let per_cell = ctx.run_sharded_cells(&topos, runs, env_seed());

@@ -75,8 +75,15 @@ pub(crate) fn run(ctx: &StudyCtx) {
             }
         })
         .collect();
-    let topo =
-        TopologySpec { shards: None, service: &service, server: &server, nodes: &nodes, duration, warmup };
+    let topo = TopologySpec {
+        shards: None,
+        service: &service,
+        server: &server,
+        nodes: &nodes,
+        duration,
+        warmup,
+        cohorts: &[],
+    };
     let samples = &ctx.run_phased_cells(&[topo], runs, env_seed())[0];
 
     // When: the pooled per-phase regimes around the boundary.

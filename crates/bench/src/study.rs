@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use tpv_core::engine::{fingerprint_topology, Engine, JobPlan, RunCache};
 use tpv_core::runtime::PhasedFleetResult;
-use tpv_core::topology::{FleetResult, ShardedFleetResult, TopologySpec};
+use tpv_core::topology::{CohortedFleetResult, FleetResult, ShardedFleetResult, TopologySpec};
 
 use crate::studies;
 
@@ -96,6 +96,13 @@ impl StudyCtx {
     /// so each run carries pooled per-phase statistics next to its fleet
     /// result — what the time-varying studies (`ext_diurnal_fleet`,
     /// `ext_turbo_decay`) render.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the cell's [`tpv_core::topology::TopologyError`] if a
+    /// topology fails phased validation — `all_experiments` isolates
+    /// study panics, so a misconfigured study reports its typed error
+    /// without aborting the rest of the suite.
     pub fn run_phased_cells(
         &self,
         topos: &[TopologySpec<'_>],
@@ -104,10 +111,35 @@ impl StudyCtx {
     ) -> Vec<Vec<PhasedFleetResult>> {
         let fingerprints: Vec<u64> = topos.iter().map(fingerprint_topology).collect();
         let plan = JobPlan::new(seed, &fingerprints, runs);
-        let results = self.engine.execute_phased(&plan, |cell| topos[cell]);
+        let results = self.engine.execute_phased(&plan, |cell| topos[cell]).unwrap_or_else(|e| panic!("{e}"));
         let mut per_cell: Vec<Vec<PhasedFleetResult>> = vec![Vec::with_capacity(runs); topos.len()];
         for (cell, _, phased) in results {
             per_cell[cell].push(phased);
+        }
+        per_cell
+    }
+
+    /// The cohorted counterpart of [`StudyCtx::run_fleet_cells`]: every
+    /// topology cell executes as a [`tpv_core::runtime::run_cohorted`]
+    /// job, carrying per-cohort rollups (and any per-shard breakdown)
+    /// next to its fleet result — what the population-scale study
+    /// (`ext_million_fleet`) renders. Worker budgeting follows
+    /// [`tpv_core::engine::Engine::execute_sharded`]: leftover workers
+    /// parallelize the shards inside each run.
+    pub fn run_cohorted_cells(
+        &self,
+        topos: &[TopologySpec<'_>],
+        runs: usize,
+        seed: u64,
+    ) -> Vec<Vec<CohortedFleetResult>> {
+        let fingerprints: Vec<u64> = topos.iter().map(fingerprint_topology).collect();
+        let plan = JobPlan::new(seed, &fingerprints, runs);
+        let results = self
+            .engine
+            .execute_jobs(&plan, |job| tpv_core::runtime::run_cohorted(&topos[job.cell], job.seed, 1));
+        let mut per_cell: Vec<Vec<CohortedFleetResult>> = vec![Vec::with_capacity(runs); topos.len()];
+        for (cell, _, cohorted) in results {
+            per_cell[cell].push(cohorted);
         }
         per_cell
     }
@@ -250,6 +282,13 @@ pub fn registry() -> Vec<Study> {
             run: studies::ext_sharded_fleet::run,
         },
         Study {
+            name: "ext_million_fleet",
+            title:
+                "Extension: one million cohort-compressed clients — LP-class p99 spread at population scale",
+            kind: StudyKind::Extension,
+            run: studies::ext_million_fleet::run,
+        },
+        Study {
             name: "ext_verdict_methods",
             title: "Extension: CI-overlap vs Mann-Whitney verdicts",
             kind: StudyKind::Extension,
@@ -301,6 +340,7 @@ mod tests {
             "ext_mixed_fleet",
             "ext_fleet_scaling",
             "ext_sharded_fleet",
+            "ext_million_fleet",
         ] {
             assert!(
                 find(required).is_some(),

@@ -183,6 +183,138 @@ impl Collector for PerNodeCollector {
     }
 }
 
+/// Accumulates one latency histogram and one statistics block per
+/// *cohort* of a cohort-compressed fleet — the collection behind
+/// [`crate::runtime::run_cohorted`].
+///
+/// Node indices are mapped to cohorts through the lowered fleet's
+/// cohort map (see
+/// [`TopologySpec::layout`](crate::topology::TopologySpec)); explicit
+/// nodes map to no cohort and are simply skipped, so the collector's
+/// footprint is `O(cohorts)`, flat in the modeled population. Per-node
+/// float contributions (offered load, energy) are buffered and folded
+/// with a canonical-order stable sum at the end, so a cohort whose
+/// members span shards yields bit-identical results serial vs
+/// sharded-parallel.
+#[derive(Debug)]
+pub struct PerCohortCollector {
+    cohort_of: Vec<Option<usize>>,
+    hists: Vec<LatencyHistogram>,
+    wakes: Vec<[u64; 4]>,
+    energies: Vec<Vec<f64>>,
+    sends: Vec<tpv_loadgen::SendStats>,
+    truncated: Vec<u64>,
+    targets: Vec<Vec<f64>>,
+}
+
+impl PerCohortCollector {
+    /// A collector for a lowered fleet whose node `i` belongs to cohort
+    /// `cohort_of[i]` (`None` for explicit, non-cohort nodes), with
+    /// `cohorts` cohorts in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mapped cohort index is out of range.
+    pub fn new(cohort_of: Vec<Option<usize>>, cohorts: usize) -> Self {
+        assert!(cohort_of.iter().flatten().all(|&c| c < cohorts), "cohort map points past the cohort list");
+        PerCohortCollector {
+            cohort_of,
+            hists: (0..cohorts).map(|_| LatencyHistogram::new()).collect(),
+            wakes: vec![[0; 4]; cohorts],
+            energies: vec![Vec::new(); cohorts],
+            sends: vec![
+                tpv_loadgen::SendStats {
+                    late_sends: 0,
+                    total_sends: 0,
+                    total_slip: SimDuration::ZERO,
+                };
+                cohorts
+            ],
+            truncated: vec![0; cohorts],
+            targets: vec![Vec::new(); cohorts],
+        }
+    }
+
+    /// One pooled [`RunResult`] per cohort, in cohort declaration order,
+    /// over the measurement window `measured`. Float accumulations
+    /// (offered load, energy) are folded in canonical order, so the
+    /// result does not depend on which shard finished first.
+    pub fn into_results(self, measured: SimDuration) -> Vec<RunResult> {
+        self.hists
+            .iter()
+            .zip(&self.targets)
+            .zip(&self.energies)
+            .zip(&self.sends)
+            .zip(&self.wakes)
+            .zip(&self.truncated)
+            .map(|(((((hist, targets), energies), sends), wakes), truncated)| {
+                RunResult::from_histogram(
+                    hist,
+                    measured,
+                    crate::topology::stable_sum(targets.clone()),
+                    *sends,
+                    *wakes,
+                    crate::topology::stable_sum(energies.clone()),
+                    *truncated,
+                )
+            })
+            .collect()
+    }
+}
+
+impl Collector for PerCohortCollector {
+    fn on_latency(&mut self, node: usize, _stamp: SimTime, measured: SimDuration) {
+        if let Some(c) = self.cohort_of[node] {
+            self.hists[c].record(measured);
+        }
+    }
+
+    fn on_node_done(&mut self, node: usize, stats: &NodeStats) {
+        let Some(c) = self.cohort_of[node] else { return };
+        for (w, s) in self.wakes[c].iter_mut().zip(stats.wakes) {
+            *w += s;
+        }
+        self.energies[c].push(stats.energy_core_secs);
+        self.sends[c].late_sends += stats.sends.late_sends;
+        self.sends[c].total_sends += stats.sends.total_sends;
+        self.sends[c].total_slip += stats.sends.total_slip;
+        self.truncated[c] += stats.truncated_inflight;
+        self.targets[c].push(stats.target_qps);
+    }
+}
+
+impl MergeCollector for PerCohortCollector {
+    /// Folds the next shard's cohort partials into `self`. Shards
+    /// partition the fleet but a cohort's members can span shards, so —
+    /// unlike [`PerNodeCollector`] — merging accumulates rather than
+    /// moves; stable shard order keeps the float folds canonical.
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.cohort_of, other.cohort_of, "collectors cover different fleets");
+        for (mine, theirs) in self.hists.iter_mut().zip(&other.hists) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.wakes.iter_mut().zip(other.wakes) {
+            for (w, s) in mine.iter_mut().zip(theirs) {
+                *w += s;
+            }
+        }
+        for (mine, theirs) in self.energies.iter_mut().zip(other.energies) {
+            mine.extend_from_slice(&theirs);
+        }
+        for (mine, theirs) in self.sends.iter_mut().zip(other.sends) {
+            mine.late_sends += theirs.late_sends;
+            mine.total_sends += theirs.total_sends;
+            mine.total_slip += theirs.total_slip;
+        }
+        for (mine, theirs) in self.truncated.iter_mut().zip(other.truncated) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.targets.iter_mut().zip(other.targets) {
+            mine.extend_from_slice(&theirs);
+        }
+    }
+}
+
 /// Collects a bounded [`RunTrace`] for workload-fidelity diagnostics
 /// (what [`crate::runtime::run_traced`] runs with).
 #[derive(Debug)]
@@ -446,6 +578,80 @@ mod tests {
         assert_eq!(stats[0].phase, 1);
         assert_eq!(stats[0].samples, 0);
         assert_eq!(stats[0].cov, 0.0);
+    }
+
+    fn node_stats(target_qps: f64, energy: f64) -> NodeStats {
+        NodeStats {
+            wakes: [3, 2, 1, 0],
+            energy_core_secs: energy,
+            sends: tpv_loadgen::SendStats {
+                late_sends: 1,
+                total_sends: 10,
+                total_slip: SimDuration::from_us(5),
+            },
+            truncated_inflight: 2,
+            target_qps,
+            measured: SimDuration::from_ms(10),
+        }
+    }
+
+    #[test]
+    fn per_cohort_collector_pools_members_and_skips_explicit_nodes() {
+        // Nodes 0 (explicit), 1 and 2 (cohort 0), 3 (cohort 1).
+        let map = vec![None, Some(0), Some(0), Some(1)];
+        let mut c = PerCohortCollector::new(map, 2);
+        c.on_latency(0, SimTime::ZERO, SimDuration::from_us(999));
+        c.on_latency(1, SimTime::ZERO, SimDuration::from_us(50));
+        c.on_latency(2, SimTime::ZERO, SimDuration::from_us(70));
+        c.on_latency(3, SimTime::ZERO, SimDuration::from_us(200));
+        c.on_node_done(0, &node_stats(1_000.0, 9.0));
+        c.on_node_done(1, &node_stats(2_000.0, 1.0));
+        c.on_node_done(2, &node_stats(3_000.0, 2.0));
+        c.on_node_done(3, &node_stats(4_000.0, 4.0));
+        let results = c.into_results(SimDuration::from_ms(10));
+        assert_eq!(results.len(), 2);
+        // Cohort 0 pools nodes 1 and 2; the explicit node never leaks in.
+        assert_eq!(results[0].samples, 2);
+        assert_eq!(results[0].target_qps, 5_000.0);
+        assert_eq!(results[0].client_wakes, [6, 4, 2, 0]);
+        assert_eq!(results[0].client_energy_core_secs, 3.0);
+        assert_eq!(results[0].late_send_fraction, 0.1);
+        assert_eq!(results[0].truncated_inflight, 4);
+        assert_eq!(results[1].samples, 1);
+        assert_eq!(results[1].target_qps, 4_000.0);
+    }
+
+    #[test]
+    fn per_cohort_merge_is_canonical_when_members_span_shards() {
+        // Cohort 0's two members land on different shards.
+        let map = vec![Some(0), Some(0)];
+        let observe = |order: [usize; 2], qps: [f64; 2]| {
+            let mut shards: Vec<PerCohortCollector> =
+                (0..2).map(|_| PerCohortCollector::new(map.clone(), 1)).collect();
+            for (shard, node) in order.into_iter().enumerate() {
+                shards[shard].on_latency(node, SimTime::ZERO, SimDuration::from_us(40 + 10 * node as u64));
+                shards[shard].on_node_done(node, &node_stats(qps[node], 0.1 + node as f64));
+            }
+            // Fold in stable shard order, as run_sharded_collected does.
+            let mut iter = shards.into_iter();
+            let mut merged = iter.next().unwrap();
+            for s in iter {
+                merged.merge(s);
+            }
+            merged.into_results(SimDuration::from_ms(10))
+        };
+        // Which shard hosts which member must not change the pooled result.
+        let a = observe([0, 1], [2_000.0, 3_000.0]);
+        let b = observe([1, 0], [2_000.0, 3_000.0]);
+        assert_eq!(a, b);
+        assert_eq!(a[0].samples, 2);
+        assert_eq!(a[0].target_qps, 5_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cohort map points past the cohort list")]
+    fn per_cohort_collector_rejects_out_of_range_map() {
+        let _ = PerCohortCollector::new(vec![Some(1)], 1);
     }
 
     #[test]

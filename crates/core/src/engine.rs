@@ -32,7 +32,7 @@ use std::sync::{Arc, Mutex};
 use tpv_sim::SimRng;
 
 use crate::runtime::{run_once, run_phased, run_topology, PhasedFleetResult, RunResult, RunSpec};
-use crate::topology::{FleetResult, TopologySpec};
+use crate::topology::{FleetResult, TopologyError, TopologySpec};
 
 /// One schedulable unit of work: a single seeded run of one cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -364,11 +364,26 @@ impl Engine {
     /// Like [`Engine::execute_topology`], phased jobs bypass the
     /// [`RunCache`]; determinism is unchanged — seeds travel with the
     /// jobs.
-    pub fn execute_phased<'s, F>(&self, plan: &JobPlan, spec_of: F) -> Vec<(usize, usize, PhasedFleetResult)>
+    ///
+    /// # Errors
+    ///
+    /// Every cell is validated *before* any job executes; a misconfigured
+    /// cell (e.g. a multi-shard tier, which phased runs do not support)
+    /// returns its [`TopologyError`] instead of aborting mid-plan.
+    pub fn execute_phased<'s, F>(
+        &self,
+        plan: &JobPlan,
+        spec_of: F,
+    ) -> Result<Vec<(usize, usize, PhasedFleetResult)>, TopologyError>
     where
         F: Fn(usize) -> TopologySpec<'s> + Sync,
     {
-        self.execute_jobs(plan, |job| run_phased(&spec_of(job.cell), job.seed))
+        for cell in 0..plan.cell_count() {
+            spec_of(cell).validate_phased()?;
+        }
+        Ok(self.execute_jobs(plan, |job| {
+            run_phased(&spec_of(job.cell), job.seed).expect("cell validated before execution")
+        }))
     }
 
     /// Executes one traced run (fidelity diagnostics) through the engine.
@@ -556,6 +571,7 @@ mod tests {
             nodes: &nodes,
             duration: SimDuration::from_ms(25),
             warmup: SimDuration::from_ms(3),
+            cohorts: &[],
         };
         let plan = JobPlan::new(9, &[fingerprint_topology(&topo)], 3);
         let serial = Engine::serial().execute_topology(&plan, |_| topo);
@@ -585,6 +601,7 @@ mod tests {
                 nodes,
                 duration: SimDuration::from_ms(20),
                 warmup: SimDuration::from_ms(2),
+                cohorts: &[],
             }
         }
 

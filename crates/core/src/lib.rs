@@ -37,11 +37,16 @@ pub mod topology;
 
 pub use analysis::{Comparison, Summary, Verdict};
 pub use collect::{
-    Collector, NodeStats, NullCollector, PerNodeCollector, PhaseCollector, PhaseStats, TraceCollector,
+    Collector, NodeStats, NullCollector, PerCohortCollector, PerNodeCollector, PhaseCollector, PhaseStats,
+    TraceCollector,
 };
 pub use engine::{CacheStats, Engine, Job, JobPlan, RunCache};
 pub use experiment::{Benchmark, Experiment, ExperimentResults, ServerScenario};
 pub use runtime::{
-    run_once, run_phased, run_topology, run_traced, PhasedFleetResult, RunResult, RunSpec, RunTrace,
+    run_cohorted, run_once, run_phased, run_topology, run_traced, PhasedFleetResult, RunResult, RunSpec,
+    RunTrace,
 };
-pub use topology::{uniform_fleet, ClientNode, FleetResult, NodeDynamics, NodeResult, TopologySpec};
+pub use topology::{
+    uniform_fleet, ClientNode, CohortResult, CohortSpec, CohortedFleetResult, FleetResult, NodeDynamics,
+    NodeResult, TopologyError, TopologySpec,
+};

@@ -32,7 +32,13 @@
 //!   the kernel partitions the run into independent per-shard
 //!   sub-simulations — executed serially here, or concurrently by
 //!   [`run_topology_sharded`] with bit-identical results whatever the
-//!   thread count or schedule.
+//!   thread count or schedule;
+//! * client populations compress through
+//!   [`crate::topology::CohortSpec`]s: before partitioning, the kernel
+//!   *lowers* each cohort into its tracked replicas plus one pooled
+//!   node at the superposed arrival rate, so a million modeled clients
+//!   execute as a few dozen kernel nodes ([`run_cohorted`] reports the
+//!   per-cohort rollups next to the fleet view).
 //!
 //! The single-node topology reproduces the historical monolithic loop's
 //! RNG stream layout exactly, so `run_once` is **bit-identical** to the
@@ -49,12 +55,12 @@ use tpv_services::{NodeConn, RequestDescriptor, ServiceConfig, ServiceInstance};
 use tpv_sim::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime, Slab};
 
 use crate::collect::{
-    Collector, MergeCollector, NodeStats, NullCollector, PerNodeCollector, PhaseCollector, PhaseStats,
-    TraceCollector,
+    Collector, MergeCollector, NodeStats, NullCollector, PerCohortCollector, PerNodeCollector,
+    PhaseCollector, PhaseStats, TraceCollector,
 };
 use crate::topology::{
-    node_stream_keys, ClientNode, FleetResult, NodeDynamics, NodeResult, ShardResult, ShardedFleetResult,
-    TopologySpec,
+    node_stream_keys, ClientNode, CohortResult, CohortedFleetResult, FleetLayout, FleetResult, NodeDynamics,
+    NodeResult, ShardResult, ShardedFleetResult, TopologyError, TopologySpec,
 };
 
 /// Everything needed to execute one run.
@@ -355,6 +361,7 @@ pub fn run_once(spec: &RunSpec<'_>, seed: u64) -> RunResult {
         nodes: &nodes,
         duration: spec.duration,
         warmup: spec.warmup,
+        cohorts: &[],
     };
     run_collected(&topo, seed, &mut NullCollector)
 }
@@ -376,6 +383,7 @@ pub fn run_traced(spec: &RunSpec<'_>, seed: u64, max_trace: usize) -> (RunResult
         nodes: &nodes,
         duration: spec.duration,
         warmup: spec.warmup,
+        cohorts: &[],
     };
     let n_conns = spec.generator.connections.max(1) as usize;
     let per_conn_gap = SimDuration::from_secs_f64(n_conns as f64 / spec.qps);
@@ -388,7 +396,8 @@ pub fn run_traced(spec: &RunSpec<'_>, seed: u64, max_trace: usize) -> (RunResult
 }
 
 /// Executes one run of a topology, returning the aggregate plus per-node
-/// breakdowns.
+/// breakdowns (one per *lowered* node for cohorted topologies, labelled
+/// per [`crate::topology::CohortedFleetResult::fleet`]'s convention).
 ///
 /// Deterministic: the same `(spec, seed)` produces bit-identical results,
 /// and per-node results are invariant under permutation of the node
@@ -396,18 +405,24 @@ pub fn run_traced(spec: &RunSpec<'_>, seed: u64, max_trace: usize) -> (RunResult
 ///
 /// # Panics
 ///
-/// Panics if the topology has no nodes, any node's `qps` is not positive,
-/// or `warmup >= duration`.
+/// Panics if [`TopologySpec::validate`] rejects the topology.
 pub fn run_topology(topo: &TopologySpec<'_>, seed: u64) -> FleetResult {
-    let mut collector = PerNodeCollector::new(topo.nodes.len());
+    let layout = topo.layout();
+    let mut collector = PerNodeCollector::new(layout.len());
     let aggregate = run_collected(topo, seed, &mut collector);
-    let nodes = topo
-        .nodes
-        .iter()
-        .zip(collector.into_results())
-        .map(|(node, result)| NodeResult { label: node.label.clone(), result })
-        .collect();
-    FleetResult { aggregate, nodes }
+    FleetResult { aggregate, nodes: node_results(&layout, collector) }
+}
+
+/// Zips a lowered layout with a filled per-node collector into labelled
+/// [`NodeResult`]s — shared by every entry point that reports per-node
+/// breakdowns, so lowered-node labelling cannot drift between them.
+fn node_results(layout: &FleetLayout<'_>, collector: PerNodeCollector) -> Vec<NodeResult> {
+    collector
+        .into_results()
+        .into_iter()
+        .enumerate()
+        .map(|(i, result)| NodeResult { label: layout.display_label(i), result })
+        .collect()
 }
 
 /// The measurements of one phased fleet run: the whole-run fleet view
@@ -441,22 +456,24 @@ impl PhasedFleetResult {
 /// The whole-run `fleet` half is produced by the same kernel pass, so it
 /// matches [`run_topology`]'s output bit for bit.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the topology has no nodes, any node's `qps` is not positive,
-/// any node's dynamics fail validation, `warmup >= duration`, or the
-/// topology has a multi-shard tier: the pooled per-phase statistics
+/// Returns the [`TopologyError`] from
+/// [`TopologySpec::validate_phased`] on a structurally invalid spec —
+/// including a multi-shard tier: the pooled per-phase statistics
 /// accumulate float state in shard feed order, which would make them
 /// sensitive to shard enumeration — merge per-partition phase
 /// histograms in canonical key order before lifting this restriction.
-pub fn run_phased(topo: &TopologySpec<'_>, seed: u64) -> PhasedFleetResult {
-    assert!(
-        topo.shard_count() == 1,
-        "run_phased does not support multi-shard tiers (per-phase stats would not be \
-         shard-enumeration invariant); use run_topology_sharded for sharded runs"
-    );
+///
+/// # Panics
+///
+/// Panics on malformed hand-assembled plans, as
+/// [`TopologySpec::validate`] documents.
+pub fn run_phased(topo: &TopologySpec<'_>, seed: u64) -> Result<PhasedFleetResult, TopologyError> {
+    topo.validate_phased()?;
+    let layout = topo.layout();
     let mut collector = (
-        PerNodeCollector::new(topo.nodes.len()),
+        PerNodeCollector::new(layout.len()),
         PhaseCollector::new(
             topo.merged_schedule(),
             SimTime::ZERO + topo.warmup,
@@ -465,44 +482,21 @@ pub fn run_phased(topo: &TopologySpec<'_>, seed: u64) -> PhasedFleetResult {
     );
     let aggregate = run_collected(topo, seed, &mut collector);
     let (per_node, per_phase) = collector;
-    let nodes = topo
-        .nodes
-        .iter()
-        .zip(per_node.into_results())
-        .map(|(node, result)| NodeResult { label: node.label.clone(), result })
-        .collect();
-    PhasedFleetResult { fleet: FleetResult { aggregate, nodes }, phases: per_phase.into_stats() }
+    Ok(PhasedFleetResult {
+        fleet: FleetResult { aggregate, nodes: node_results(&layout, per_node) },
+        phases: per_phase.into_stats(),
+    })
 }
 
 /// Validates a topology before execution — shared by every kernel entry
 /// point, so hand-assembled specs fail loudly whichever door they come
-/// in through.
+/// in through. The checks live in [`TopologySpec::validate`] (where
+/// callers that prefer a reportable error get them as a
+/// [`TopologyError`]); this bridge panics with the error's message,
+/// preserving the historical panic contract.
 fn validate_topology(topo: &TopologySpec<'_>) {
-    assert!(!topo.nodes.is_empty(), "topology needs at least one client node");
-    assert!(topo.nodes.len() <= u16::MAX as usize, "topology exceeds {} nodes", u16::MAX);
-    for node in topo.nodes {
-        assert!(node.qps > 0.0, "offered load must be positive, got {}", node.qps);
-        if let Some(dy) = &node.dynamics {
-            dy.validate();
-            assert!(
-                dy.schedule.phase_count() <= u16::MAX as usize,
-                "node '{}' exceeds {} phases",
-                node.label,
-                u16::MAX
-            );
-            // Closed loops pace by think time, not the arrival process a
-            // rate plan rebuilds — a phased rate there would change the
-            // reported target without changing the offered load.
-            assert!(
-                dy.rate.is_none() || node.generator.loop_mode == LoopMode::Open,
-                "node '{}': phased rates require an open-loop generator (closed loops pace by think time)",
-                node.label
-            );
-        }
-    }
-    assert!(topo.warmup < topo.duration, "warmup must be shorter than the run");
-    if let Some(shards) = topo.shards {
-        shards.validate(topo.nodes.len());
+    if let Err(e) = topo.validate() {
+        panic!("{e}");
     }
 }
 
@@ -528,27 +522,36 @@ struct PartitionPlan<'a> {
     legacy_single: bool,
 }
 
-/// Splits a topology into its independent per-shard sub-simulations.
+/// Splits a topology into its independent per-shard sub-simulations,
+/// over the **lowered** fleet `nodes` (see
+/// [`TopologySpec::lowered_node_count`]; identical to `topo.nodes` when
+/// the topology has no cohorts).
 ///
 /// Shards share no mutable state — each partition gets its own service
 /// instance, event queue, slab and RNG streams — so partitions can run
 /// in any order, or concurrently, with bit-identical results. Per-node
 /// streams fork from the **global** master under node content keys:
 /// moving a node between shards (or resharding the tier) never changes
-/// the node's own arrival schedule or environment draws.
-fn build_partitions<'a>(topo: &TopologySpec<'a>, master: &SimRng) -> Vec<PartitionPlan<'a>> {
+/// the node's own arrival schedule or environment draws — and a lowered
+/// cohort node's key is its content key too, so cohort declaration
+/// order cannot change results either.
+fn build_partitions<'a>(
+    topo: &TopologySpec<'a>,
+    nodes: &'a [ClientNode],
+    master: &SimRng,
+) -> Vec<PartitionPlan<'a>> {
     if topo.shard_count() == 1 {
         // Degenerate tier: the unsharded kernel, with the single shard's
         // machine as the server when a spec is present.
         let server = topo.shards.map_or(topo.server, |s| &s.machines[0]);
-        let legacy_single = topo.nodes.len() == 1;
+        let legacy_single = nodes.len() == 1;
         let members: Vec<(usize, &'a ClientNode, u64)> = if legacy_single {
-            vec![(0, &topo.nodes[0], 0)]
+            vec![(0, &nodes[0], 0)]
         } else {
-            topo.nodes
+            nodes
                 .iter()
                 .enumerate()
-                .zip(node_stream_keys(topo.nodes))
+                .zip(node_stream_keys(nodes))
                 .map(|((i, node), key)| (i, node, key))
                 .collect()
         };
@@ -562,9 +565,9 @@ fn build_partitions<'a>(topo: &TopologySpec<'a>, master: &SimRng) -> Vec<Partiti
         }];
     }
     let shards = topo.shards.expect("multi-shard topology");
-    let node_keys = node_stream_keys(topo.nodes);
+    let node_keys = node_stream_keys(nodes);
     let shard_keys = crate::topology::shard_stream_keys(&shards.machines);
-    let assignment = shards.assign(topo.nodes.len());
+    let assignment = shards.assign(nodes.len());
     let mut plans: Vec<PartitionPlan<'a>> = shards
         .machines
         .iter()
@@ -579,7 +582,7 @@ fn build_partitions<'a>(topo: &TopologySpec<'a>, master: &SimRng) -> Vec<Partiti
             legacy_single: false,
         })
         .collect();
-    for ((i, node), (&shard, &key)) in topo.nodes.iter().enumerate().zip(assignment.iter().zip(&node_keys)) {
+    for ((i, node), (&shard, &key)) in nodes.iter().enumerate().zip(assignment.iter().zip(&node_keys)) {
         plans[shard].members.push((i, node, key));
     }
     plans
@@ -689,14 +692,14 @@ fn finish_run(topo: &TopologySpec<'_>, outcomes: &[PartitionOutcome]) -> RunResu
 ///
 /// # Panics
 ///
-/// Panics if the topology has no nodes, any node's `qps` is not positive,
-/// any node's dynamics fail validation (including a phased rate on a
-/// closed-loop generator), the shard spec fails validation, or
-/// `warmup >= duration`.
+/// Panics if [`TopologySpec::validate`] rejects the topology (no nodes,
+/// non-positive `qps`, invalid dynamics or cohorts, a bad shard spec,
+/// or `warmup >= duration`).
 pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector: &mut C) -> RunResult {
     validate_topology(topo);
+    let layout = topo.layout();
     let master = SimRng::seed_from_u64(seed);
-    let plans = build_partitions(topo, &master);
+    let plans = build_partitions(topo, layout.nodes(), &master);
     let outcomes: Vec<PartitionOutcome> =
         plans.iter().map(|plan| run_partition(topo, plan, &master, collector)).collect();
     finish_run(topo, &outcomes)
@@ -958,16 +961,54 @@ fn run_partition<C: Collector>(
 ///
 /// Panics on the same invalid specs as [`run_collected`].
 pub fn run_topology_sharded(topo: &TopologySpec<'_>, seed: u64, workers: usize) -> ShardedFleetResult {
-    let n = topo.nodes.len();
+    let layout = topo.layout();
+    let n = layout.len();
     let (aggregate, shards, collector) =
         run_sharded_collected(topo, seed, workers, |_| PerNodeCollector::new(n));
-    let nodes = topo
-        .nodes
+    ShardedFleetResult { fleet: FleetResult { aggregate, nodes: node_results(&layout, collector) }, shards }
+}
+
+/// Executes a cohort-compressed topology (sharded or not) on up to
+/// `workers` threads and returns the fleet view over the lowered nodes,
+/// the per-shard breakdown and the per-cohort rollups. This is the
+/// population-scale entry point: a million modeled clients compressed
+/// into a few dozen cohorts execute at the cost of the lowered fleet.
+///
+/// Determinism contract: like [`run_topology_sharded`], results are
+/// bit-identical whatever `workers` or the OS schedule — per-cohort
+/// state merges across shards in stable shard declaration order, and
+/// the per-cohort energy/target sums are order-independent
+/// (`stable_sum`). Works on topologies without cohorts too (the
+/// `cohorts` rollup is then empty).
+///
+/// # Panics
+///
+/// Panics on the same invalid specs as [`run_collected`].
+pub fn run_cohorted(topo: &TopologySpec<'_>, seed: u64, workers: usize) -> CohortedFleetResult {
+    let layout = topo.layout();
+    let n = layout.len();
+    let cohort_of = layout.cohort_map();
+    let n_cohorts = topo.cohorts.len();
+    let (aggregate, shards, (per_node, per_cohort)) = run_sharded_collected(topo, seed, workers, |_| {
+        (PerNodeCollector::new(n), PerCohortCollector::new(cohort_of.clone(), n_cohorts))
+    });
+    let measured = topo.duration - topo.warmup;
+    let cohorts = topo
+        .cohorts
         .iter()
-        .zip(collector.into_results())
-        .map(|(node, result)| NodeResult { label: node.label.clone(), result })
+        .zip(per_cohort.into_results(measured))
+        .map(|(spec, result)| CohortResult {
+            label: spec.node.label.clone(),
+            population: spec.population,
+            tracked: spec.tracked.min(spec.population),
+            result,
+        })
         .collect();
-    ShardedFleetResult { fleet: FleetResult { aggregate, nodes }, shards }
+    CohortedFleetResult {
+        fleet: FleetResult { aggregate, nodes: node_results(&layout, per_node) },
+        shards,
+        cohorts,
+    }
 }
 
 /// The collector-generic parallel sharded kernel behind
@@ -996,8 +1037,9 @@ where
     F: Fn(usize) -> C + Sync,
 {
     validate_topology(topo);
+    let layout = topo.layout();
     let master = SimRng::seed_from_u64(seed);
-    let plans = build_partitions(topo, &master);
+    let plans = build_partitions(topo, layout.nodes(), &master);
     let workers = workers.clamp(1, plans.len());
     let per_shard: Vec<(PartitionOutcome, C)> = if workers <= 1 {
         plans
@@ -1232,6 +1274,7 @@ mod tests {
             nodes: &nodes,
             duration: spec.duration,
             warmup: spec.warmup,
+            cohorts: &[],
         };
         let fleet = run_topology(&topo, 11);
         assert_eq!(fleet.aggregate, solo, "1×1 topology must match run_once bit for bit");
@@ -1261,6 +1304,7 @@ mod tests {
             nodes: &nodes,
             duration: SimDuration::from_ms(60),
             warmup: SimDuration::from_ms(10),
+            cohorts: &[],
         };
         let fleet = run_topology(&topo, 21);
         assert_eq!(fleet.nodes.len(), 4);
@@ -1300,6 +1344,7 @@ mod tests {
                 nodes: &all_good,
                 duration,
                 warmup,
+                cohorts: &[],
             },
             5,
         );
@@ -1311,6 +1356,7 @@ mod tests {
                 nodes: &one_bad,
                 duration,
                 warmup,
+                cohorts: &[],
             },
             5,
         );

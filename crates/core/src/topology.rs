@@ -23,9 +23,20 @@
 //! [`crate::runtime::run_topology`] executes a topology and returns a
 //! [`FleetResult`]: the familiar aggregate [`RunResult`] plus one
 //! [`NodeResult`] per client node.
+//!
+//! Population-scale fleets compress through [`CohortSpec`]s: nodes
+//! sharing one configuration class collapse into a single *pooled* node
+//! whose arrival process is the Poisson superposition of the members'
+//! (rate = population × per-member qps), plus a handful of `tracked`
+//! exact replicas for per-client drill-down. Memory and per-event cost
+//! scale with the *lowered* node count, not the modeled population —
+//! a million-client fleet executes as a few dozen kernel nodes.
+
+use std::borrow::Cow;
+use std::fmt;
 
 use tpv_hw::{DynamicMachine, MachineConfig};
-use tpv_loadgen::{GeneratorSpec, PhasedRate};
+use tpv_loadgen::{GeneratorSpec, LoopMode, PhasedRate};
 use tpv_net::LinkConfig;
 use tpv_services::ServiceConfig;
 use tpv_sim::{PhaseSchedule, SimDuration, SimTime};
@@ -212,6 +223,243 @@ impl ClientNode {
     }
 }
 
+/// A compressed population of identically-configured client nodes.
+///
+/// ConfigTron-style fleets cluster into a modest number of
+/// (machine × generator × link × load) classes. Instead of declaring a
+/// million [`ClientNode`]s, a cohort declares the class **template**
+/// once plus a `population`. The runtime *lowers* the cohort into:
+///
+/// * `tracked` exact copies of the template — ordinary nodes with
+///   today's content-addressed per-node streams, whose client-side
+///   wake/idle behaviour is exact — for per-client drill-down;
+/// * one **pooled** node carrying the remaining `population - tracked`
+///   members as a single superposed arrival process at
+///   `(population - tracked) × qps`. Superposing independent Poisson
+///   streams is exact for exponential arrivals (and an approximation
+///   for other [`tpv_loadgen::ArrivalKind`]s); the pooled node keeps
+///   the template's connection count, so memory and per-event cost stay
+///   flat in `population`.
+///
+/// The pooled node models *offered load and server-side pressure*
+/// exactly, but its client-side hardware state is one representative
+/// machine driven at the pooled rate — it stays warm and never observes
+/// the long-idle wake tails an isolated low-rate client would. Use
+/// `tracked` representatives to measure those.
+///
+/// A cohort of `population: 1` with no tracked members lowers to the
+/// template times a rate multiplier of exactly `1.0`, which is
+/// bit-exact: it is indistinguishable from declaring the
+/// [`ClientNode`] explicitly (pinned by `GOLDEN_COHORT` in
+/// `tests/golden_runtime.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortSpec {
+    /// The configuration class every member shares.
+    pub node: ClientNode,
+    /// Number of modeled clients in this cohort (at least 1).
+    pub population: u32,
+    /// How many members to simulate as exact per-node replicas
+    /// (at most `population`).
+    pub tracked: u32,
+}
+
+impl CohortSpec {
+    /// A cohort of `population` members of the `node` class, none
+    /// tracked.
+    pub fn new(node: ClientNode, population: u32) -> Self {
+        CohortSpec { node, population, tracked: 0 }
+    }
+
+    /// Returns a copy tracking `tracked` members as exact replicas.
+    pub fn with_tracked(mut self, tracked: u32) -> Self {
+        self.tracked = tracked;
+        self
+    }
+
+    /// Members simulated by the pooled superposed-arrival node.
+    pub fn pooled(&self) -> u32 {
+        self.population.saturating_sub(self.tracked)
+    }
+}
+
+/// A structurally invalid [`TopologySpec`], reported by
+/// [`TopologySpec::validate`]. Misconfiguration surfaces as a value the
+/// caller can log and move past (`all_experiments` keeps its suite
+/// alive) instead of a mid-suite abort; the runtime entry points bridge
+/// `Err` back into a panic carrying this error's message, which
+/// preserves the historical panic pins.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// No client nodes and no cohorts.
+    EmptyFleet,
+    /// The lowered fleet exceeds the kernel's `u16` node-index width.
+    TooManyNodes {
+        /// Lowered node count (explicit nodes + tracked + pooled).
+        lowered: usize,
+    },
+    /// A node (or cohort template) offers no load.
+    NonPositiveQps {
+        /// The offending node's label.
+        label: String,
+        /// Its configured load.
+        qps: f64,
+    },
+    /// A node's phase schedule exceeds the kernel's `u16` phase-index
+    /// width.
+    TooManyPhases {
+        /// The offending node's label.
+        label: String,
+    },
+    /// A phased rate plan on a closed-loop generator: closed loops pace
+    /// by think time, so the plan could not change the offered load it
+    /// claims to.
+    PhasedRateClosedLoop {
+        /// The offending node's label.
+        label: String,
+    },
+    /// `warmup >= duration` leaves no measurement window.
+    EmptyWindow,
+    /// A cohort with `population == 0`.
+    EmptyCohort {
+        /// The cohort template's label.
+        label: String,
+    },
+    /// A cohort tracking more members than its population.
+    TrackedExceedsPopulation {
+        /// The cohort template's label.
+        label: String,
+        /// Requested tracked members.
+        tracked: u32,
+        /// The cohort's population.
+        population: u32,
+    },
+    /// A cohort pooling closed-loop members: superposed arrivals model
+    /// open-loop load, while a closed loop's rate is set by think time
+    /// and connection count.
+    PooledClosedLoop {
+        /// The cohort template's label.
+        label: String,
+    },
+    /// [`crate::runtime::run_phased`] on a multi-shard tier.
+    PhasedMultiShard,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EmptyFleet => write!(f, "topology needs at least one client node"),
+            TopologyError::TooManyNodes { lowered } => {
+                write!(f, "topology exceeds {} nodes (lowered fleet has {lowered})", u16::MAX)
+            }
+            TopologyError::NonPositiveQps { label, qps } => {
+                write!(f, "node '{label}': offered load must be positive, got {qps}")
+            }
+            TopologyError::TooManyPhases { label } => {
+                write!(f, "node '{label}' exceeds {} phases", u16::MAX)
+            }
+            TopologyError::PhasedRateClosedLoop { label } => write!(
+                f,
+                "node '{label}': phased rates require an open-loop generator (closed loops pace by think time)"
+            ),
+            TopologyError::EmptyWindow => write!(f, "warmup must be shorter than the run"),
+            TopologyError::EmptyCohort { label } => {
+                write!(f, "cohort '{label}' needs a population of at least one")
+            }
+            TopologyError::TrackedExceedsPopulation { label, tracked, population } => {
+                write!(f, "cohort '{label}' tracks {tracked} members but has a population of {population}")
+            }
+            TopologyError::PooledClosedLoop { label } => write!(
+                f,
+                "cohort '{label}': pooled members require an open-loop generator (closed loops pace by \
+                 think time, which superposed arrivals cannot model); track every member instead"
+            ),
+            TopologyError::PhasedMultiShard => write!(
+                f,
+                "run_phased does not support multi-shard tiers (per-phase stats would not be \
+                 shard-enumeration invariant); use run_topology_sharded for sharded runs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Where a lowered node came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeOrigin {
+    /// Declared explicitly in [`TopologySpec::nodes`].
+    Explicit(usize),
+    /// Tracked replica `member` of cohort `cohort`.
+    Tracked {
+        /// Cohort declaration index.
+        cohort: usize,
+        /// Member index within the cohort's tracked set.
+        member: u32,
+    },
+    /// The pooled remainder of cohort `cohort`.
+    Pooled {
+        /// Cohort declaration index.
+        cohort: usize,
+        /// Members carried by the superposed arrival process.
+        members: u32,
+    },
+}
+
+/// The lowered fleet of a topology: explicit nodes first, then each
+/// cohort's tracked replicas and pooled node, in declaration order.
+/// Borrows the declared slice untouched when there are no cohorts, so
+/// the common path allocates nothing.
+pub(crate) struct FleetLayout<'a> {
+    nodes: Cow<'a, [ClientNode]>,
+    /// Origin per lowered node; `None` when the topology has no cohorts
+    /// (every lowered node is explicit).
+    origins: Option<Vec<NodeOrigin>>,
+}
+
+impl FleetLayout<'_> {
+    /// The lowered nodes the kernel executes.
+    pub(crate) fn nodes(&self) -> &[ClientNode] {
+        &self.nodes
+    }
+
+    /// Lowered node count.
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Origin of lowered node `i`.
+    pub(crate) fn origin(&self, i: usize) -> NodeOrigin {
+        match &self.origins {
+            Some(origins) => origins[i],
+            None => NodeOrigin::Explicit(i),
+        }
+    }
+
+    /// Display label of lowered node `i`: the declared label for
+    /// explicit nodes, `label#k` for tracked cohort members,
+    /// `label#pooled(n)` for a pooled remainder. Display only — content
+    /// keys (and therefore RNG streams) use the [`ClientNode`] itself.
+    pub(crate) fn display_label(&self, i: usize) -> String {
+        match self.origin(i) {
+            NodeOrigin::Explicit(_) => self.nodes[i].label.clone(),
+            NodeOrigin::Tracked { member, .. } => format!("{}#{member}", self.nodes[i].label),
+            NodeOrigin::Pooled { members, .. } => format!("{}#pooled({members})", self.nodes[i].label),
+        }
+    }
+
+    /// Lowered node index → owning cohort (`None` for explicit nodes) —
+    /// the attribution map [`crate::collect::PerCohortCollector`] is
+    /// built from.
+    pub(crate) fn cohort_map(&self) -> Vec<Option<usize>> {
+        (0..self.len())
+            .map(|i| match self.origin(i) {
+                NodeOrigin::Explicit(_) => None,
+                NodeOrigin::Tracked { cohort, .. } | NodeOrigin::Pooled { cohort, .. } => Some(cohort),
+            })
+            .collect()
+    }
+}
+
 /// Splits one deployment into `count` client nodes that together
 /// preserve the original's total connection count and offered load:
 /// connections divide as evenly as possible (the first
@@ -392,6 +640,12 @@ pub struct TopologySpec<'a> {
     /// kernel); `Some` with `K > 1` partitions the run into independent
     /// per-shard sub-simulations.
     pub shards: Option<&'a ShardSpec>,
+    /// Cohort-compressed client populations, lowered next to
+    /// [`TopologySpec::nodes`] at run time (explicit nodes first, then
+    /// each cohort's tracked replicas and pooled node in declaration
+    /// order). Empty — the common case — means the fleet is exactly
+    /// `nodes`.
+    pub cohorts: &'a [CohortSpec],
 }
 
 /// Order-independent f64 accumulation: float addition is not
@@ -405,21 +659,142 @@ pub(crate) fn stable_sum(mut values: Vec<f64>) -> f64 {
 }
 
 impl TopologySpec<'_> {
-    /// Total *base* offered load across the fleet (order-independent),
-    /// ignoring any phased rate plans.
+    /// Lowers the cohorts into the flat node list the kernel executes:
+    /// explicit nodes first, then per cohort (in declaration order) its
+    /// tracked replicas followed by one pooled node whose load is the
+    /// Poisson superposition of the untracked members. Lowered nodes
+    /// draw their RNG streams from the same content-addressed keys as
+    /// explicit nodes, so cohort declaration order is presentation, not
+    /// physics.
+    pub(crate) fn layout(&self) -> FleetLayout<'_> {
+        if self.cohorts.is_empty() {
+            return FleetLayout { nodes: Cow::Borrowed(self.nodes), origins: None };
+        }
+        let mut nodes = self.nodes.to_vec();
+        let mut origins: Vec<NodeOrigin> = (0..self.nodes.len()).map(NodeOrigin::Explicit).collect();
+        for (c, cohort) in self.cohorts.iter().enumerate() {
+            let tracked = cohort.tracked.min(cohort.population);
+            for member in 0..tracked {
+                nodes.push(cohort.node.clone());
+                origins.push(NodeOrigin::Tracked { cohort: c, member });
+            }
+            let pooled = cohort.population - tracked;
+            if pooled > 0 {
+                let mut node = cohort.node.clone();
+                // Poisson superposition: pooling n independent members
+                // is one arrival process at n× the rate. n = 1
+                // multiplies by exactly 1.0, which is bit-exact — a
+                // population-one cohort *is* its explicit node.
+                node.qps = cohort.node.qps * f64::from(pooled);
+                nodes.push(node);
+                origins.push(NodeOrigin::Pooled { cohort: c, members: pooled });
+            }
+        }
+        FleetLayout { nodes: Cow::Owned(nodes), origins: Some(origins) }
+    }
+
+    /// Checks the spec structurally, reporting misconfiguration as a
+    /// typed [`TopologyError`] a caller can surface without aborting.
+    /// The runtime entry points call this and panic on `Err` with the
+    /// error's message.
+    ///
+    /// # Panics
+    ///
+    /// Panics (rather than returning `Err`) on malformed hand-assembled
+    /// *plans* — phase-count mismatches inside a [`NodeDynamics`] and
+    /// malformed [`ShardSpec`] assignments — which are programming
+    /// errors, not experiment configuration.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        if self.nodes.is_empty() && self.cohorts.is_empty() {
+            return Err(TopologyError::EmptyFleet);
+        }
+        for cohort in self.cohorts {
+            if cohort.population == 0 {
+                return Err(TopologyError::EmptyCohort { label: cohort.node.label.clone() });
+            }
+            if cohort.tracked > cohort.population {
+                return Err(TopologyError::TrackedExceedsPopulation {
+                    label: cohort.node.label.clone(),
+                    tracked: cohort.tracked,
+                    population: cohort.population,
+                });
+            }
+            if cohort.pooled() > 0 && cohort.node.generator.loop_mode != LoopMode::Open {
+                return Err(TopologyError::PooledClosedLoop { label: cohort.node.label.clone() });
+            }
+        }
+        let layout = self.layout();
+        if layout.len() > u16::MAX as usize {
+            return Err(TopologyError::TooManyNodes { lowered: layout.len() });
+        }
+        for node in layout.nodes() {
+            if node.qps <= 0.0 || node.qps.is_nan() {
+                return Err(TopologyError::NonPositiveQps { label: node.label.clone(), qps: node.qps });
+            }
+            if let Some(dy) = &node.dynamics {
+                dy.validate();
+                if dy.schedule.phase_count() > u16::MAX as usize {
+                    return Err(TopologyError::TooManyPhases { label: node.label.clone() });
+                }
+                // Closed loops pace by think time, not the arrival
+                // process a rate plan rebuilds — a phased rate there
+                // would change the reported target without changing the
+                // offered load.
+                if dy.rate.is_some() && node.generator.loop_mode != LoopMode::Open {
+                    return Err(TopologyError::PhasedRateClosedLoop { label: node.label.clone() });
+                }
+            }
+        }
+        if self.warmup >= self.duration {
+            return Err(TopologyError::EmptyWindow);
+        }
+        if let Some(shards) = self.shards {
+            shards.validate(layout.len());
+        }
+        Ok(())
+    }
+
+    /// [`TopologySpec::validate`] plus the phased-run constraint:
+    /// per-phase pooled stats accumulate float state in shard feed
+    /// order, so [`crate::runtime::run_phased`] only supports
+    /// single-shard tiers.
+    pub fn validate_phased(&self) -> Result<(), TopologyError> {
+        self.validate()?;
+        if self.shard_count() > 1 {
+            return Err(TopologyError::PhasedMultiShard);
+        }
+        Ok(())
+    }
+
+    /// Number of kernel-executed nodes after cohort lowering.
+    pub fn lowered_node_count(&self) -> usize {
+        self.layout().len()
+    }
+
+    /// Number of *modeled* clients: explicit nodes plus every cohort
+    /// member. The kernel's memory and per-event cost scale with
+    /// [`TopologySpec::lowered_node_count`], not with this.
+    pub fn modeled_clients(&self) -> u64 {
+        self.nodes.len() as u64 + self.cohorts.iter().map(|c| u64::from(c.population)).sum::<u64>()
+    }
+
+    /// Total *base* offered load across the (lowered) fleet
+    /// (order-independent), ignoring any phased rate plans. Cohorts
+    /// contribute `population × qps`.
     pub fn total_qps(&self) -> f64 {
-        stable_sum(self.nodes.iter().map(|n| n.qps).collect())
+        stable_sum(self.layout().nodes().iter().map(|n| n.qps).collect())
     }
 
     /// Effective offered load across the fleet over the measurement
-    /// window: each node's base load weighted by its time-averaged rate
-    /// multiplier. Bit-identical to [`TopologySpec::total_qps`] when no
-    /// node carries a rate plan.
+    /// window: each lowered node's base load weighted by its
+    /// time-averaged rate multiplier. Bit-identical to
+    /// [`TopologySpec::total_qps`] when no node carries a rate plan.
     pub fn offered_qps(&self) -> f64 {
         let start = SimTime::ZERO + self.warmup;
         let end = SimTime::ZERO + self.duration;
         stable_sum(
-            self.nodes
+            self.layout()
+                .nodes()
                 .iter()
                 .map(|n| match &n.dynamics {
                     Some(dy) => n.qps * dy.mean_rate_multiplier(start, end),
@@ -429,16 +804,19 @@ impl TopologySpec<'_> {
         )
     }
 
-    /// Total connections across the fleet.
+    /// Total connections across the lowered fleet — flat in cohort
+    /// populations (each cohort costs `(tracked + 1) ×` its template's
+    /// connections at most).
     pub fn total_connections(&self) -> u32 {
-        self.nodes.iter().map(|n| n.generator.connections.max(1)).sum()
+        self.layout().nodes().iter().map(|n| n.generator.connections.max(1)).sum()
     }
 
     /// The union of every node's phase boundaries — the finest schedule
     /// against which per-phase metrics of this topology are well defined.
     /// The single all-covering phase when no node is dynamic.
     pub fn merged_schedule(&self) -> PhaseSchedule {
-        self.nodes
+        self.layout()
+            .nodes()
             .iter()
             .filter_map(|n| n.dynamics.as_ref())
             .fold(PhaseSchedule::single(), |acc, dy| acc.merged(&dy.schedule))
@@ -449,12 +827,13 @@ impl TopologySpec<'_> {
         self.shards.map_or(1, ShardSpec::count)
     }
 
-    /// The node→shard assignment in node declaration order (all zeros
-    /// for the single-tier case).
+    /// The node→shard assignment in lowered node order (all zeros for
+    /// the single-tier case).
     pub fn shard_assignment(&self) -> Vec<usize> {
+        let lowered = self.layout().len();
         match self.shards {
-            Some(s) => s.assign(self.nodes.len()),
-            None => vec![0; self.nodes.len()],
+            Some(s) => s.assign(lowered),
+            None => vec![0; lowered],
         }
     }
 }
@@ -571,6 +950,58 @@ impl ShardedFleetResult {
             .iter()
             .filter(|s| s.result.samples > 0)
             .map(|s| s.result.p99)
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// The measurements of one cohort over a cohorted fleet run: every
+/// lowered node of the cohort (tracked replicas plus the pooled
+/// remainder) pooled into one distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortResult {
+    /// The cohort template's label.
+    pub label: String,
+    /// Modeled members.
+    pub population: u32,
+    /// Members simulated as exact per-node replicas.
+    pub tracked: u32,
+    /// Pooled measurements over the cohort's lowered nodes.
+    pub result: RunResult,
+}
+
+/// The measurements of one cohorted fleet run: the fleet view over the
+/// *lowered* nodes, the per-shard breakdown, and the per-cohort rollup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortedFleetResult {
+    /// Whole-run fleet view over the lowered nodes. Tracked members are
+    /// labelled `label#k` and pooled nodes `label#pooled(n)`; explicit
+    /// nodes keep their declared labels.
+    pub fleet: FleetResult,
+    /// Per-shard breakdowns, in shard declaration order (one entry for
+    /// the single-tier case).
+    pub shards: Vec<ShardResult>,
+    /// Per-cohort rollups, in cohort declaration order.
+    pub cohorts: Vec<CohortResult>,
+}
+
+impl CohortedFleetResult {
+    /// The rollup for the cohort whose template is labelled `label`.
+    pub fn cohort(&self, label: &str) -> Option<&CohortResult> {
+        self.cohorts.iter().find(|c| c.label == label)
+    }
+
+    /// The largest per-cohort p99 — the straggler class's tail.
+    pub fn worst_cohort_p99(&self) -> SimDuration {
+        self.cohorts.iter().map(|c| c.result.p99).max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The smallest per-cohort p99 among cohorts that recorded samples.
+    pub fn best_cohort_p99(&self) -> SimDuration {
+        self.cohorts
+            .iter()
+            .filter(|c| c.result.samples > 0)
+            .map(|c| c.result.p99)
             .min()
             .unwrap_or(SimDuration::ZERO)
     }
@@ -736,5 +1167,131 @@ mod tests {
             1.0,
             0,
         );
+    }
+
+    fn kv() -> ServiceConfig {
+        use tpv_services::kv::KvConfig;
+        use tpv_services::ServiceKind;
+        ServiceConfig::without_interference(ServiceKind::Memcached(KvConfig {
+            preload_keys: 100,
+            ..KvConfig::default()
+        }))
+    }
+
+    fn cohorted<'a>(
+        service: &'a ServiceConfig,
+        server: &'a MachineConfig,
+        nodes: &'a [ClientNode],
+        cohorts: &'a [CohortSpec],
+    ) -> TopologySpec<'a> {
+        TopologySpec {
+            shards: None,
+            service,
+            server,
+            nodes,
+            duration: SimDuration::from_ms(50),
+            warmup: SimDuration::from_ms(5),
+            cohorts,
+        }
+    }
+
+    #[test]
+    fn cohort_lowering_orders_scales_and_attributes() {
+        let service = kv();
+        let server = MachineConfig::server_baseline();
+        let explicit = [node("solo", 1_000.0)];
+        let cohorts = [CohortSpec::new(node("class", 2_000.0), 5).with_tracked(2)];
+        let topo = cohorted(&service, &server, &explicit, &cohorts);
+        let layout = topo.layout();
+        assert_eq!(layout.len(), 4, "explicit + 2 tracked + 1 pooled");
+        assert_eq!(layout.origin(0), NodeOrigin::Explicit(0));
+        assert_eq!(layout.origin(1), NodeOrigin::Tracked { cohort: 0, member: 0 });
+        assert_eq!(layout.origin(2), NodeOrigin::Tracked { cohort: 0, member: 1 });
+        assert_eq!(layout.origin(3), NodeOrigin::Pooled { cohort: 0, members: 3 });
+        // Tracked replicas are exact template copies; the pooled node
+        // superposes the remaining members' load.
+        assert_eq!(layout.nodes()[1], cohorts[0].node);
+        assert_eq!(layout.nodes()[3].qps, 6_000.0);
+        assert_eq!(layout.display_label(0), "solo");
+        assert_eq!(layout.display_label(1), "class#0");
+        assert_eq!(layout.display_label(3), "class#pooled(3)");
+        assert_eq!(layout.cohort_map(), vec![None, Some(0), Some(0), Some(0)]);
+        // The spec-level aggregates see the full modeled population.
+        assert_eq!(topo.modeled_clients(), 6);
+        assert_eq!(topo.lowered_node_count(), 4);
+        assert_eq!(topo.total_qps(), 11_000.0);
+        assert_eq!(topo.total_connections(), 4 * GeneratorSpec::mutilate().connections);
+        assert!(topo.validate().is_ok());
+    }
+
+    #[test]
+    fn population_one_cohort_lowers_to_its_template() {
+        let service = kv();
+        let server = MachineConfig::server_baseline();
+        let cohorts = [CohortSpec::new(node("unit", 3_333.25), 1)];
+        let topo = cohorted(&service, &server, &[], &cohorts);
+        let layout = topo.layout();
+        assert_eq!(layout.len(), 1);
+        // ×1.0 is bit-exact: the lowered node *is* the template.
+        assert_eq!(layout.nodes()[0], cohorts[0].node);
+        assert_eq!(layout.nodes()[0].content_key(), cohorts[0].node.content_key());
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        let service = kv();
+        let server = MachineConfig::server_baseline();
+        let empty = cohorted(&service, &server, &[], &[]);
+        assert_eq!(empty.validate(), Err(TopologyError::EmptyFleet));
+        assert!(empty.validate().unwrap_err().to_string().contains("at least one client node"));
+
+        let zero_pop = [CohortSpec::new(node("c", 100.0), 0)];
+        let topo = cohorted(&service, &server, &[], &zero_pop);
+        assert_eq!(topo.validate(), Err(TopologyError::EmptyCohort { label: "c".into() }));
+
+        let over_tracked = [CohortSpec::new(node("c", 100.0), 2).with_tracked(3)];
+        let topo = cohorted(&service, &server, &[], &over_tracked);
+        assert!(matches!(topo.validate(), Err(TopologyError::TrackedExceedsPopulation { .. })));
+
+        let closed = [CohortSpec::new(
+            ClientNode::new(
+                "closed",
+                MachineConfig::high_performance(),
+                GeneratorSpec::mutilate().closed_loop(SimDuration::from_us(100)),
+                LinkConfig::cloudlab_lan(),
+                100.0,
+            ),
+            4,
+        )];
+        let topo = cohorted(&service, &server, &[], &closed);
+        assert!(matches!(topo.validate(), Err(TopologyError::PooledClosedLoop { .. })));
+        assert!(topo.validate().unwrap_err().to_string().contains("open-loop"));
+        // Tracking every member sidesteps pooling, so closed loops are
+        // fine there.
+        let all_tracked = [closed[0].clone().with_tracked(4)];
+        let topo = cohorted(&service, &server, &[], &all_tracked);
+        assert!(topo.validate().is_ok());
+
+        let bad_qps = [node("dead", 0.0)];
+        let topo = cohorted(&service, &server, &bad_qps, &[]);
+        assert!(matches!(topo.validate(), Err(TopologyError::NonPositiveQps { .. })));
+        assert!(topo.validate().unwrap_err().to_string().contains("offered load must be positive"));
+
+        let nodes = [node("n", 100.0)];
+        let mut bad_window = cohorted(&service, &server, &nodes, &[]);
+        bad_window.warmup = bad_window.duration;
+        assert_eq!(bad_window.validate(), Err(TopologyError::EmptyWindow));
+        assert!(bad_window.validate().unwrap_err().to_string().contains("warmup must be shorter"));
+
+        let shards = ShardSpec::uniform(server, 2);
+        let mut multi = cohorted(&service, &server, &nodes, &[]);
+        multi.shards = Some(&shards);
+        assert!(multi.validate().is_ok());
+        assert_eq!(multi.validate_phased(), Err(TopologyError::PhasedMultiShard));
+        assert!(multi
+            .validate_phased()
+            .unwrap_err()
+            .to_string()
+            .contains("does not support multi-shard tiers"));
     }
 }

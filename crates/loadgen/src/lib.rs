@@ -137,6 +137,24 @@ impl ArrivalProcess {
         ArrivalProcess { mean_gap, sampler }
     }
 
+    /// The superposition of `members` independent copies of a `(kind,
+    /// mean_gap)` process: one process whose mean gap is `mean_gap /
+    /// members`.
+    ///
+    /// For [`ArrivalKind::Exponential`] this is exact (k Poisson streams
+    /// of rate λ are one Poisson stream of rate kλ) — the identity behind
+    /// cohort-compressed fleets. For the other kinds it preserves the
+    /// pooled mean rate but not the pooled gap distribution.
+    /// `superposed(kind, gap, 1)` equals `new(kind, gap)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is zero or `mean_gap` is zero.
+    pub fn superposed(kind: ArrivalKind, mean_gap: SimDuration, members: u32) -> Self {
+        assert!(members > 0, "superposition needs at least one member process");
+        ArrivalProcess::new(kind, mean_gap.scale(1.0 / f64::from(members)))
+    }
+
     /// Draws the gap to the next send.
     pub fn next_gap(&self, rng: &mut SimRng) -> SimDuration {
         match &self.sampler {
@@ -592,6 +610,27 @@ mod tests {
             assert!((mean - 100.0).abs() < 3.0, "{kind:?}: mean {mean}");
             assert_eq!(p.mean_gap(), SimDuration::from_us(100));
         }
+    }
+
+    #[test]
+    fn superposed_arrivals_pool_the_rate() {
+        // A pool of 50 members at 100 µs mean gap is one process at 2 µs.
+        let pooled = ArrivalProcess::superposed(ArrivalKind::Exponential, SimDuration::from_us(100), 50);
+        assert_eq!(pooled.mean_gap(), SimDuration::from_us(2));
+        let mut rng = SimRng::seed_from_u64(13);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| pooled.next_gap(&mut rng).as_us()).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "pooled mean {mean}");
+        // One member is the identity — what makes a population-1 cohort
+        // bit-identical to an explicit node.
+        let solo = ArrivalProcess::superposed(ArrivalKind::Exponential, SimDuration::from_us(100), 1);
+        assert_eq!(solo.mean_gap(), SimDuration::from_us(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn superposed_rejects_an_empty_pool() {
+        ArrivalProcess::superposed(ArrivalKind::Exponential, SimDuration::from_us(10), 0);
     }
 
     #[test]

@@ -118,6 +118,21 @@ impl Exponential {
     pub fn mean(&self) -> f64 {
         self.mean
     }
+
+    /// The superposition of `members` independent copies of this process.
+    ///
+    /// Superposing k Poisson processes of rate λ yields one Poisson
+    /// process of rate kλ — the identity behind cohort-compressed fleets,
+    /// where a population of identical open-loop clients is simulated as
+    /// a single pooled arrival stream. `superposed(1)` is exactly `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is zero.
+    pub fn superposed(&self, members: u32) -> Self {
+        assert!(members > 0, "superposition needs at least one member process");
+        Exponential { mean: self.mean / f64::from(members) }
+    }
 }
 
 impl Sampler for Exponential {
@@ -435,6 +450,33 @@ mod tests {
         let v = var_of(&e, 200_000, 2);
         assert!((v - 100.0).abs() < 5.0, "variance {v}");
         assert_eq!(Exponential::with_mean(10.0).mean(), 10.0);
+    }
+
+    #[test]
+    fn superposition_matches_the_pooled_rate() {
+        // k independent rate-λ processes merge into one rate-kλ process:
+        // the pooled gap distribution equals Exponential::with_rate(kλ)
+        // exactly, and empirically the min-of-k gap matches its mean.
+        let base = Exponential::with_rate(0.25); // mean 4
+        let pooled = base.superposed(8);
+        assert_eq!(pooled, Exponential::with_rate(8.0 * 0.25));
+        assert_eq!(base.superposed(1), base, "one member is the identity");
+        let m = mean_of(&pooled, 200_000, 11);
+        assert!((m - 0.5).abs() < 0.01, "pooled mean {m}");
+        // Cross-check against a literal superposition: the mean gap of
+        // min-of-8 independent exponentials is mean/8.
+        let mut rng = SimRng::seed_from_u64(12);
+        let n = 50_000;
+        let literal: f64 =
+            (0..n).map(|_| (0..8).map(|_| base.sample(&mut rng)).fold(f64::INFINITY, f64::min)).sum::<f64>()
+                / n as f64;
+        assert!((literal - 0.5).abs() < 0.02, "literal superposition mean {literal}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn superposition_rejects_zero_members() {
+        let _ = Exponential::with_mean(1.0).superposed(0);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Conformance contracts of the cohort layer: a pooled superposed
+//! arrival process is aggregation, not new physics, so cohort
+//! declaration order, execution strategy (worker count) and
+//! split/merge refactors of the cohort list must not change what the
+//! simulation measures.
+//!
+//! Complements `tests/golden_runtime.rs`, which pins cohorted values
+//! bit-for-bit (`GOLDEN_COHORT`) and checks the `population: 1`
+//! identity against every static golden row.
+
+use tpv_core::collect::EventCountCollector;
+use tpv_core::runtime::{run_cohorted, run_collected};
+use tpv_core::topology::{ClientNode, CohortSpec, ShardSpec, TopologySpec};
+use tpv_hw::MachineConfig;
+use tpv_loadgen::GeneratorSpec;
+use tpv_net::LinkConfig;
+use tpv_services::kv::KvConfig;
+use tpv_services::{ServiceConfig, ServiceKind};
+use tpv_sim::SimDuration;
+
+fn kv_service() -> ServiceConfig {
+    ServiceConfig::without_interference(ServiceKind::Memcached(KvConfig {
+        preload_keys: 1_000,
+        ..KvConfig::default()
+    }))
+}
+
+/// A cohort template: label, machine class and per-member load.
+fn template(label: &str, lp: bool, qps: f64) -> ClientNode {
+    let gen = GeneratorSpec::mutilate().with_connections(20);
+    let machine = if lp { MachineConfig::low_power() } else { MachineConfig::high_performance() };
+    ClientNode::new(label, machine, gen, LinkConfig::cloudlab_lan(), qps)
+}
+
+fn topo<'a>(
+    service: &'a ServiceConfig,
+    server: &'a MachineConfig,
+    nodes: &'a [ClientNode],
+    cohorts: &'a [CohortSpec],
+    shards: Option<&'a ShardSpec>,
+) -> TopologySpec<'a> {
+    TopologySpec {
+        shards,
+        service,
+        server,
+        nodes,
+        duration: SimDuration::from_ms(40),
+        warmup: SimDuration::from_ms(4),
+        cohorts,
+    }
+}
+
+#[test]
+fn cohort_declaration_order_is_presentation() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let a = CohortSpec::new(template("alpha", true, 3_000.0), 30).with_tracked(2);
+    let b = CohortSpec::new(template("beta", false, 5_000.0), 20).with_tracked(1);
+    let c = CohortSpec::new(template("gamma", false, 2_000.0), 10);
+    let forward = [a.clone(), b.clone(), c.clone()];
+    let permuted = [c, a, b];
+
+    let x = run_cohorted(&topo(&service, &server, &[], &forward, None), 77, 2);
+    let y = run_cohorted(&topo(&service, &server, &[], &permuted, None), 77, 2);
+
+    // The aggregate is merged in content-key order, not declaration
+    // order, so permuting the cohort list cannot move a single bit.
+    assert_eq!(x.fleet.aggregate, y.fleet.aggregate, "aggregate depends on cohort order");
+    assert_eq!(x.shards, y.shards, "shard breakdown depends on cohort order");
+    // Per-cohort rollups follow declaration order; matched by label
+    // they are identical.
+    for cohort in &x.cohorts {
+        let twin = y
+            .cohorts
+            .iter()
+            .find(|t| t.label == cohort.label)
+            .expect("every cohort appears under both orders");
+        assert_eq!(cohort, twin, "cohort '{}' drifted under permutation", cohort.label);
+    }
+    // Same lowered nodes too, as a label-keyed set.
+    let mut xs: Vec<_> = x.fleet.nodes.iter().map(|n| (n.label.clone(), n.result.clone())).collect();
+    let mut ys: Vec<_> = y.fleet.nodes.iter().map(|n| (n.label.clone(), n.result.clone())).collect();
+    xs.sort_by(|p, q| p.0.cmp(&q.0));
+    ys.sort_by(|p, q| p.0.cmp(&q.0));
+    assert_eq!(xs, ys, "per-node breakdowns depend on cohort order");
+}
+
+#[test]
+fn serial_and_parallel_cohort_execution_are_bit_identical() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let shards = ShardSpec::uniform(server, 4);
+    let cohorts = [
+        CohortSpec::new(template("lp-pool", true, 2_500.0), 24).with_tracked(2),
+        CohortSpec::new(template("hp-pool", false, 4_000.0), 16).with_tracked(1),
+    ];
+    let spec = topo(&service, &server, &[], &cohorts, Some(&shards));
+    let serial = run_cohorted(&spec, 13, 1);
+    for workers in [2, 4, 64] {
+        let parallel = run_cohorted(&spec, 13, workers);
+        assert_eq!(serial, parallel, "{workers} workers drifted from serial cohort execution");
+    }
+    // Rollups pool exactly the cohort's lowered nodes: tracked members
+    // plus the pooled remainder, nothing else.
+    let pooled: u64 = serial.cohorts.iter().map(|c| c.result.samples).sum();
+    assert_eq!(serial.fleet.aggregate.samples, pooled, "cohort rollups must pool to the aggregate");
+}
+
+/// Satellite contract: superposition is associative in distribution. A
+/// population-k cohort drives one pooled process at k·λ; k identical
+/// population-1 cohorts drive k independent processes at λ. The two are
+/// different event interleavings of the same offered load, so their
+/// sample counts must agree statistically (the bit-level identity is
+/// pinned separately, for `population: 1`, in the golden suite).
+#[test]
+fn one_pooled_cohort_matches_k_singleton_cohorts_statistically() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let merged = [CohortSpec::new(template("pool", false, 5_000.0), 8)];
+    let split: Vec<CohortSpec> =
+        (0..8).map(|_| CohortSpec::new(template("pool", false, 5_000.0), 1)).collect();
+
+    let big = run_cohorted(&topo(&service, &server, &[], &merged, None), 99, 2);
+    let many = run_cohorted(&topo(&service, &server, &[], &split, None), 99, 2);
+
+    assert_eq!(big.fleet.nodes.len(), 1, "population-k cohort must lower to one pooled node");
+    assert_eq!(many.fleet.nodes.len(), 8, "k singleton cohorts must lower to k nodes");
+    let (a, b) = (big.fleet.aggregate.samples as f64, many.fleet.aggregate.samples as f64);
+    let rel = (a - b).abs() / b;
+    assert!(rel < 0.10, "pooled ({a}) and superposed-by-hand ({b}) sample counts diverged by {rel:.3}");
+    let (qa, qb) = (big.fleet.aggregate.achieved_qps, many.fleet.aggregate.achieved_qps);
+    assert!(((qa - qb) / qb).abs() < 0.10, "achieved qps diverged: {qa:.0} vs {qb:.0}");
+}
+
+/// Satellite contract: splitting a cohort in half (or merging two
+/// halves) keeps the aggregate event count deterministic — byte-equal
+/// across repeated runs and across worker counts — and statistically
+/// unchanged between the split and merged declarations.
+#[test]
+fn cohort_split_and_merge_keep_event_counts_deterministic() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let merged = [CohortSpec::new(template("class", false, 4_000.0), 12)];
+    let halves = [
+        CohortSpec::new(template("class", false, 4_000.0), 6),
+        CohortSpec::new(template("class", false, 4_000.0), 6),
+    ];
+
+    let count = |cohorts: &[CohortSpec]| {
+        let spec = topo(&service, &server, &[], cohorts, None);
+        let mut counter = EventCountCollector::new();
+        let result = run_collected(&spec, 31, &mut counter);
+        (counter.events(), result.samples)
+    };
+
+    let merged_counts = count(&merged);
+    let split_counts = count(&halves);
+    // Determinism: the same declaration replays to the same counters.
+    assert_eq!(merged_counts, count(&merged), "merged cohort run is not deterministic");
+    assert_eq!(split_counts, count(&halves), "split cohort run is not deterministic");
+    // And worker count is presentation: the cohorted runner dispatches
+    // the same requests serial or parallel.
+    let spec = topo(&service, &server, &[], &halves, None);
+    assert_eq!(
+        run_cohorted(&spec, 31, 1).fleet.aggregate.samples,
+        run_cohorted(&spec, 31, 8).fleet.aggregate.samples,
+    );
+    // The two declarations offer identical load; their realized counts
+    // differ only by arrival interleaving.
+    let (_, merged_samples) = merged_counts;
+    let (_, split_samples) = split_counts;
+    let rel = (merged_samples as f64 - split_samples as f64).abs() / split_samples as f64;
+    assert!(rel < 0.10, "split vs merged sample counts diverged by {rel:.3}");
+}
+
+#[test]
+fn tracked_members_expose_exact_drilldown_next_to_the_pool() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let solo = [template("solo", false, 8_000.0)];
+    let cohorts = [CohortSpec::new(template("lp", true, 1_000.0), 50).with_tracked(2)];
+    let run = run_cohorted(&topo(&service, &server, &solo, &cohorts, None), 5, 2);
+
+    let labels: Vec<&str> = run.fleet.nodes.iter().map(|n| n.label.as_str()).collect();
+    assert_eq!(labels, ["solo", "lp#0", "lp#1", "lp#pooled(48)"]);
+    // Tracked members are exact per-node streams at the template's own
+    // rate; the pooled node carries the superposed remainder.
+    assert_eq!(run.fleet.nodes[1].result.target_qps, 1_000.0);
+    assert_eq!(run.fleet.nodes[2].result.target_qps, 1_000.0);
+    assert_eq!(run.fleet.nodes[3].result.target_qps, 48_000.0);
+    // The rollup pools exactly the cohort's three nodes — the explicit
+    // node never leaks in.
+    assert_eq!(run.cohorts.len(), 1);
+    assert_eq!(run.cohorts[0].population, 50);
+    assert_eq!(run.cohorts[0].tracked, 2);
+    let member_samples: u64 = run.fleet.nodes[1..].iter().map(|n| n.result.samples).sum();
+    assert_eq!(run.cohorts[0].result.samples, member_samples);
+    assert_eq!(run.fleet.aggregate.samples, member_samples + run.fleet.nodes[0].result.samples,);
+    assert!(run.worst_cohort_p99() >= run.best_cohort_p99());
+}

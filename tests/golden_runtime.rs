@@ -12,10 +12,10 @@
 //! `cargo test --test golden_runtime -- --ignored --nocapture`
 //! and paste the printed rows over `GOLDEN`.
 
-use tpv_core::runtime::{run_once, run_phased, run_topology_sharded, RunResult, RunSpec};
-use tpv_core::topology::{ClientNode, NodeDynamics, ShardPolicy, ShardSpec, TopologySpec};
+use tpv_core::runtime::{run_cohorted, run_once, run_phased, run_topology_sharded, RunResult, RunSpec};
+use tpv_core::topology::{ClientNode, CohortSpec, NodeDynamics, ShardPolicy, ShardSpec, TopologySpec};
 use tpv_hw::{CStatePolicy, MachineConfig};
-use tpv_loadgen::{GeneratorSpec, PointOfMeasurement, TimingMode};
+use tpv_loadgen::{GeneratorSpec, LoopMode, PointOfMeasurement, TimingMode};
 use tpv_net::LinkConfig;
 use tpv_services::hdsearch::HdSearchConfig;
 use tpv_services::kv::KvConfig;
@@ -267,8 +267,9 @@ fn observe_phased(parts: &Parts, dynamics: &NodeDynamics, seed: u64) -> ([u64; 1
         nodes: &nodes,
         duration: spec.duration,
         warmup: spec.warmup,
+        cohorts: &[],
     };
-    let phased = run_phased(&topo, seed);
+    let phased = run_phased(&topo, seed).expect("valid phased golden topology");
     let row = golden_row(&phased.fleet.aggregate);
     let phases = phased.phases.iter().map(|p| [p.samples, p.p99.as_ns()]).collect();
     (row, phases)
@@ -315,6 +316,7 @@ fn observe_sharded(shards: &ShardSpec, nodes: &[ClientNode], seed: u64) -> ([u64
         nodes,
         duration: SimDuration::from_ms(60),
         warmup: SimDuration::from_ms(6),
+        cohorts: &[],
     };
     // Three workers over four shards: the parallel path with an uneven
     // split, the strictest schedule to stay bit-identical under.
@@ -324,8 +326,64 @@ fn observe_sharded(shards: &ShardSpec, nodes: &[ClientNode], seed: u64) -> ([u64
     (row, shards_out)
 }
 
+/// One pinned cohorted case: aggregate row in `GOLDEN` format plus
+/// per-cohort `(samples, p99 ns)` pairs — a drift in the cohort
+/// lowering, the pooled arrival superposition or the per-cohort
+/// canonical merge trips the pin. Observed through the parallel
+/// `run_cohorted` entry point.
+struct CohortGolden {
+    name: &'static str,
+    seed: u64,
+    row: [u64; 16],
+    cohorts: &'static [[u64; 2]],
+}
+
+/// One pinned cohorted shape: name, optional shard tier, explicit
+/// nodes, cohorts.
+type CohortCase = (&'static str, Option<ShardSpec>, Vec<ClientNode>, Vec<CohortSpec>);
+
+/// The cohorted spec shapes under pin: an LP and an HP cohort with
+/// tracked representatives next to an explicit node (unsharded), and
+/// the same cohorts spread over a four-shard tier.
+fn cohort_cases() -> Vec<CohortCase> {
+    let gen = GeneratorSpec::mutilate().with_connections(20);
+    let link = LinkConfig::cloudlab_lan();
+    let lp = ClientNode::new("lp-class", MachineConfig::low_power(), gen, link, 200.0);
+    let hp = ClientNode::new("hp-class", MachineConfig::high_performance(), gen, link, 300.0);
+    let cohorts = vec![CohortSpec::new(lp, 60).with_tracked(2), CohortSpec::new(hp, 40).with_tracked(1)];
+    let solo = vec![ClientNode::new("solo", MachineConfig::high_performance(), gen, link, 20_000.0)];
+    let tier = ShardSpec::uniform(MachineConfig::server_baseline(), 4);
+    vec![
+        ("memcached-cohort-mixed", None, solo, cohorts.clone()),
+        ("memcached-cohort-sharded", Some(tier), Vec::new(), cohorts),
+    ]
+}
+
+fn observe_cohort(
+    shards: Option<&ShardSpec>,
+    nodes: &[ClientNode],
+    cohorts: &[CohortSpec],
+    seed: u64,
+) -> ([u64; 16], Vec<[u64; 2]>) {
+    let service = ServiceConfig::new(ServiceKind::Memcached(KvConfig::default()));
+    let server = MachineConfig::server_baseline();
+    let topo = TopologySpec {
+        shards,
+        service: &service,
+        server: &server,
+        nodes,
+        duration: SimDuration::from_ms(60),
+        warmup: SimDuration::from_ms(6),
+        cohorts,
+    };
+    let run = run_cohorted(&topo, seed, 3);
+    let row = golden_row(&run.fleet.aggregate);
+    let per_cohort = run.cohorts.iter().map(|c| [c.result.samples, c.result.p99.as_ns()]).collect();
+    (row, per_cohort)
+}
+
 /// Regeneration helper (not part of the suite): prints `GOLDEN`,
-/// `GOLDEN_PHASED` and `GOLDEN_SHARDED` rows.
+/// `GOLDEN_PHASED`, `GOLDEN_SHARDED` and `GOLDEN_COHORT` rows.
 #[test]
 #[ignore = "regeneration helper; run with --ignored --nocapture"]
 fn print_goldens() {
@@ -350,6 +408,15 @@ fn print_goldens() {
             let (row, per_shard) = observe_sharded(&shards, &nodes, seed);
             println!(
                 "    ShardedGolden {{ name: \"{name}\", seed: {seed}, row: {row:?}, shards: &{per_shard:?} }},"
+            );
+        }
+    }
+    println!();
+    for (name, shards, nodes, cohorts) in cohort_cases() {
+        for seed in [2024u64, 7] {
+            let (row, per_cohort) = observe_cohort(shards.as_ref(), &nodes, &cohorts, seed);
+            println!(
+                "    CohortGolden {{ name: \"{name}\", seed: {seed}, row: {row:?}, cohorts: &{per_cohort:?} }},"
             );
         }
     }
@@ -393,6 +460,87 @@ const GOLDEN_SHARDED: &[ShardedGolden] = &[
     ShardedGolden { name: "memcached-sharded-hot", seed: 7, row: [61601, 52735, 217087, 364560, 27905, 8575, 4684696212032493492, 4684737570976825344, 4598143272458414201, 18360, 14546, 1299, 2474, 322, 4625050384009145271, 0], shards: &[[4325, 192511], [2135, 241663], [1022, 67583], [1093, 66559]] },
 ];
 
+#[rustfmt::skip]
+const GOLDEN_COHORT: &[CohortGolden] = &[
+    CohortGolden { name: "memcached-cohort-mixed", seed: 2024, row: [67685, 52735, 235519, 275991, 36382, 2377, 4676282672701777389, 4676280127535972352, 4598770916124369142, 25913, 3895, 320, 839, 210, 4620745502977932053, 0], cohorts: &[[663, 245759], [641, 74751]] },
+    CohortGolden { name: "memcached-cohort-mixed", seed: 7, row: [68412, 52735, 231423, 259127, 37878, 2410, 4676366663173343611, 4676280127535972352, 4598656444265960809, 26213, 3942, 278, 827, 264, 4620770333808242528, 0], cohorts: &[[659, 243711], [663, 61951]] },
+    CohortGolden { name: "memcached-cohort-sharded", seed: 2024, row: [82660, 78847, 239615, 278986, 43606, 1304, 4672367006375370449, 4672326283722489856, 4602772707261717850, 44761, 1485, 328, 830, 217, 4618105956209793357, 0], cohorts: &[[663, 243711], [641, 69631]] },
+    CohortGolden { name: "memcached-cohort-sharded", seed: 7, row: [86268, 77823, 247807, 456004, 50216, 1321, 4672453542012741708, 4672326283722489856, 4602687784533550768, 44229, 1542, 272, 826, 269, 4618142311024528556, 0], cohorts: &[[658, 253951], [663, 80895]] },
+];
+
+/// A cohort of `population: 1` must be bit-identical to the equivalent
+/// explicit `ClientNode` — the cohort layer's central invariant (the
+/// analogue of the shard layer's K=1 rule), checked against the same
+/// `GOLDEN` rows the static kernel is pinned by, through the parallel
+/// `run_cohorted` entry point. Open-loop shapes exercise the *pooled*
+/// lowering (a pool of one), the closed-loop shape the tracked lowering.
+#[test]
+fn population_one_cohort_reproduces_the_static_goldens() {
+    let by_name = cases();
+    for g in GOLDEN {
+        let (_, parts) = by_name.iter().find(|(n, _)| *n == g.name).unwrap();
+        let spec = RunSpec {
+            service: &parts.service,
+            server: &parts.server,
+            client: &parts.client,
+            generator: &parts.generator,
+            link: &parts.link,
+            qps: parts.qps,
+            duration: SimDuration::from_ms(60),
+            warmup: SimDuration::from_ms(6),
+        };
+        // Closed loops cannot pool (they pace by think time), so their
+        // single member rides the tracked path instead.
+        let tracked = if parts.generator.loop_mode == LoopMode::Open { 0 } else { 1 };
+        let cohorts = [CohortSpec::new(spec.client_node(), 1).with_tracked(tracked)];
+        let topo = TopologySpec {
+            shards: None,
+            service: &parts.service,
+            server: &parts.server,
+            nodes: &[],
+            duration: spec.duration,
+            warmup: spec.warmup,
+            cohorts: &cohorts,
+        };
+        let run = run_cohorted(&topo, g.seed, 2);
+        let row = golden_row(&run.fleet.aggregate);
+        assert_eq!(
+            row, g.row,
+            "{} seed {}: a population-1 cohort drifted from the static pin",
+            g.name, g.seed
+        );
+        // The cohort rollup of a one-member fleet is that member.
+        assert_eq!(run.cohorts.len(), 1);
+        assert_eq!(
+            golden_row(&run.cohorts[0].result),
+            g.row,
+            "{} seed {}: cohort rollup drifted",
+            g.name,
+            g.seed
+        );
+    }
+}
+
+#[test]
+fn cohorted_runs_match_their_pins() {
+    assert!(!GOLDEN_COHORT.is_empty(), "cohort golden table must be populated");
+    let by_name = cohort_cases();
+    for g in GOLDEN_COHORT {
+        let (_, shards, nodes, cohorts) = by_name
+            .iter()
+            .find(|(n, _, _, _)| *n == g.name)
+            .unwrap_or_else(|| panic!("unknown cohort golden case {}", g.name));
+        let (row, per_cohort) = observe_cohort(shards.as_ref(), nodes, cohorts, g.seed);
+        assert_eq!(row, g.row, "{} seed {} aggregate drifted from the pin", g.name, g.seed);
+        assert_eq!(per_cohort, g.cohorts, "{} seed {} per-cohort stats drifted", g.name, g.seed);
+    }
+    // The pins themselves encode the paper's finding at cohort
+    // granularity: the low-power class posts the worse tail.
+    for g in GOLDEN_COHORT {
+        assert!(g.cohorts[0][1] > g.cohorts[1][1], "{}: LP cohort tail must exceed HP's", g.name);
+    }
+}
+
 /// A one-shard tier must reproduce the static `run_once` pins bit for
 /// bit — the shard layer's central invariant (K=1 is the degenerate
 /// case), checked against the same `GOLDEN` rows the static kernel is
@@ -421,6 +569,7 @@ fn one_shard_tier_reproduces_the_static_goldens() {
             nodes: &nodes,
             duration: spec.duration,
             warmup: spec.warmup,
+            cohorts: &[],
         };
         let sharded = run_topology_sharded(&topo, g.seed, 4);
         let row = golden_row(&sharded.fleet.aggregate);

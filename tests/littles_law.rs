@@ -91,6 +91,7 @@ fn fleet_pooling_conserves_littles_law() {
         nodes: &nodes,
         duration: SimDuration::from_ms(80),
         warmup: SimDuration::from_ms(8),
+        cohorts: &[],
     };
     let fleet = run_topology(&topo, 11);
     let agg = &fleet.aggregate;
@@ -135,8 +136,9 @@ fn stepped_load_phases_obey_littles_law_per_phase() {
         nodes: &nodes,
         duration,
         warmup: SimDuration::from_ms(8),
+        cohorts: &[],
     };
-    let phased = run_phased(&topo, 29);
+    let phased = run_phased(&topo, 29).expect("valid phased topology");
     let low = phased.phase(0).unwrap();
     let high = phased.phase(1).unwrap();
     // Each phase achieves its own offered rate...

@@ -51,6 +51,7 @@ fn topo<'a>(
         nodes,
         duration: SimDuration::from_ms(40),
         warmup: SimDuration::from_ms(4),
+        cohorts: &[],
     }
 }
 
@@ -205,16 +206,18 @@ fn hot_shard_policy_skews_the_per_shard_tail() {
 }
 
 #[test]
-#[should_panic(expected = "does not support multi-shard tiers")]
 fn run_phased_rejects_multi_shard_tiers() {
     // Per-phase pooled stats accumulate float state in shard feed
     // order, which would break shard-enumeration invariance — so the
-    // combination is rejected loudly instead of being subtly wrong.
+    // combination is rejected with a typed error instead of being
+    // subtly wrong (or aborting a whole experiment suite).
     let service = kv_service();
     let server = MachineConfig::server_baseline();
     let nodes = mixed_fleet();
     let shards = ShardSpec::uniform(server, 4);
-    tpv_core::runtime::run_phased(&topo(&service, &server, &nodes, Some(&shards)), 1);
+    let err = tpv_core::runtime::run_phased(&topo(&service, &server, &nodes, Some(&shards)), 1).unwrap_err();
+    assert_eq!(err, tpv_core::topology::TopologyError::PhasedMultiShard);
+    assert!(err.to_string().contains("does not support multi-shard tiers"), "{err}");
 }
 
 #[test]

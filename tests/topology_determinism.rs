@@ -53,6 +53,7 @@ fn run_with_order(order: &[usize], seed: u64) -> tpv_core::topology::FleetResult
         nodes: &nodes,
         duration: SimDuration::from_ms(50),
         warmup: SimDuration::from_ms(5),
+        cohorts: &[],
     };
     run_topology(&topo, seed)
 }
@@ -93,6 +94,7 @@ fn identical_configs_with_distinct_labels_are_independent_machines() {
         nodes: &nodes,
         duration: SimDuration::from_ms(50),
         warmup: SimDuration::from_ms(5),
+        cohorts: &[],
     };
     let fleet = run_topology(&topo, 3);
     let a = &fleet.node("twin-a").unwrap().result;
@@ -120,6 +122,7 @@ fn replica_nodes_with_equal_labels_are_also_independent() {
         nodes: &nodes,
         duration: SimDuration::from_ms(50),
         warmup: SimDuration::from_ms(5),
+        cohorts: &[],
     };
     let fleet = run_topology(&topo, 4);
     assert_ne!(
@@ -154,6 +157,7 @@ fn single_node_topology_is_run_once() {
         nodes: &nodes,
         duration: spec.duration,
         warmup: spec.warmup,
+        cohorts: &[],
     };
     let fleet = run_topology(&topo, 77);
     assert_eq!(fleet.aggregate, solo);
