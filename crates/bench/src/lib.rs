@@ -20,6 +20,7 @@ use tpv_core::report::Csv;
 use tpv_sim::SimDuration;
 
 pub mod perf;
+pub mod rss;
 pub(crate) mod studies;
 pub mod study;
 

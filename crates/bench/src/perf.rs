@@ -20,17 +20,28 @@
 //! short scenarios above the timer floor and the process peak RSS
 //! observed after the scenario ran (the cohort layer's flat-memory
 //! gate).
+//!
+//! Schema 4 attaches uncertainty to the headline numbers: every scenario
+//! carries a percentile-bootstrap 95% CI on its events/sec (derived from
+//! the retained trial walls via [`events_per_sec_ci`]), dual-timed
+//! scenarios additionally keep the parallel leg's trial walls and a
+//! two-sample bootstrap CI on the intra-run speedup ([`speedup_ci`]) —
+//! so the shard-scaling gate can bind on the CI lower bound instead of a
+//! point estimate — and the peak-RSS reading is per-scenario where the
+//! kernel supports resetting `VmHWM` (see `tpv_bench::rss`).
 
 use std::fmt::Write as _;
 
+use tpv_sim::SimRng;
+
 /// Schema identifier written into every report.
-pub const SCHEMA: &str = "tpv-perf/3";
+pub const SCHEMA: &str = "tpv-perf/4";
 
 /// Warn (but do not fail) when events/sec falls below `baseline / WARN`.
 pub const WARN_FACTOR: f64 = 1.25;
 
 /// Wall-clock summary and deterministic work counters of one scenario.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ScenarioReport {
     /// Stable scenario identifier (`static_1x1`, `fleet_16`, ...).
     pub name: String,
@@ -61,15 +72,37 @@ pub struct ScenarioReport {
     /// are already divided down to per-run milliseconds.
     pub repeats: usize,
     /// Process peak RSS (`VmHWM`) in kB right after this scenario ran;
-    /// `0` when the platform does not expose it. Monotonic over the
-    /// process lifetime, so matrix order matters: the flat-memory gate
-    /// compares a later scenario's peak against an earlier one's.
+    /// `0` when the platform does not expose it. Where the kernel
+    /// supports `tpv_bench::rss::reset_peak` the probe resets the
+    /// high-water mark before each scenario, making this the scenario's
+    /// *own* peak; elsewhere it stays monotonic over the process
+    /// lifetime and only matrix order makes later-vs-earlier
+    /// comparisons meaningful.
     pub peak_rss_kb: u64,
     /// Per-run wall time of every *retained* timed trial (after
     /// [`iqr_filter`]), in milliseconds — the sample behind
     /// `wall_ms_median`, kept so [`compare`] can run a Mann–Whitney test
     /// between a fresh probe and the baseline.
     pub wall_ms_trials: Vec<f64>,
+    /// Percentile-bootstrap 95% CI on `events_per_sec`, derived from
+    /// `wall_ms_trials` by [`events_per_sec_ci`]; both `0.0` when the
+    /// trial sample is too small to bootstrap (fewer than 2 trials).
+    pub events_per_sec_ci_low: f64,
+    /// Upper end of the events/sec CI (see `events_per_sec_ci_low`).
+    pub events_per_sec_ci_high: f64,
+    /// Retained per-run wall times of the *parallel* leg of a dual-timed
+    /// scenario, in milliseconds — empty when not dual-timed. Note
+    /// `wall_ms_trials` holds the gated (serial) leg's sample for those
+    /// scenarios, so both legs stay recomputable from the report.
+    pub wall_ms_parallel_trials: Vec<f64>,
+    /// Two-sample-bootstrap 95% CI on `speedup_vs_serial` from
+    /// [`speedup_ci`]; both `0.0` when not dual-timed or when either
+    /// leg's sample is too small. The scaling gate binds on this lower
+    /// bound when present — a point estimate inflated by one lucky
+    /// parallel trial no longer passes.
+    pub speedup_ci_low: f64,
+    /// Upper end of the speedup CI (see `speedup_ci_low`).
+    pub speedup_ci_high: f64,
 }
 
 /// The full probe output: what `BENCH.json` holds.
@@ -106,7 +139,13 @@ impl BenchReport {
             let _ = writeln!(out, "      \"repeats\": {},", s.repeats);
             let _ = writeln!(out, "      \"peak_rss_kb\": {},", s.peak_rss_kb);
             let trials: Vec<String> = s.wall_ms_trials.iter().map(|t| format!("{t:.4}")).collect();
-            let _ = writeln!(out, "      \"wall_ms_trials\": [{}]", trials.join(", "));
+            let _ = writeln!(out, "      \"wall_ms_trials\": [{}],", trials.join(", "));
+            let _ = writeln!(out, "      \"events_per_sec_ci_low\": {:.1},", s.events_per_sec_ci_low);
+            let _ = writeln!(out, "      \"events_per_sec_ci_high\": {:.1},", s.events_per_sec_ci_high);
+            let parallel: Vec<String> = s.wall_ms_parallel_trials.iter().map(|t| format!("{t:.4}")).collect();
+            let _ = writeln!(out, "      \"wall_ms_parallel_trials\": [{}],", parallel.join(", "));
+            let _ = writeln!(out, "      \"speedup_ci_low\": {:.4},", s.speedup_ci_low);
+            let _ = writeln!(out, "      \"speedup_ci_high\": {:.4}", s.speedup_ci_high);
             out.push_str(if i + 1 == self.scenarios.len() { "    }\n" } else { "    },\n" });
         }
         out.push_str("  ]\n}\n");
@@ -142,6 +181,11 @@ impl BenchReport {
                 repeats: json::get_f64(s, "repeats")? as usize,
                 peak_rss_kb: json::get_f64(s, "peak_rss_kb")? as u64,
                 wall_ms_trials: json::get_f64_array(s, "wall_ms_trials")?,
+                events_per_sec_ci_low: json::get_f64(s, "events_per_sec_ci_low")?,
+                events_per_sec_ci_high: json::get_f64(s, "events_per_sec_ci_high")?,
+                wall_ms_parallel_trials: json::get_f64_array(s, "wall_ms_parallel_trials")?,
+                speedup_ci_low: json::get_f64(s, "speedup_ci_low")?,
+                speedup_ci_high: json::get_f64(s, "speedup_ci_high")?,
             });
         }
         Ok(BenchReport { schema: schema.to_string(), quick, scenarios })
@@ -206,6 +250,74 @@ pub fn iqr_filter(samples: &[f64]) -> Vec<f64> {
     } else {
         kept
     }
+}
+
+/// Bootstrap resamples behind the report's confidence intervals.
+const CI_RESAMPLES: usize = 1000;
+/// Confidence level of the report's bootstrap intervals.
+const CI_LEVEL: f64 = 0.95;
+/// Fixed bootstrap seed: the intervals are a deterministic function of
+/// the measured trials, so re-serializing a report never flaps them.
+const CI_SEED: u64 = 0x7065_7266; // "perf"
+
+/// Percentile-bootstrap 95% CI on events/sec, `(low, high)`.
+///
+/// Bootstraps the *median wall time* over the retained trials (the same
+/// statistic the headline `events_per_sec` divides by) and inverts the
+/// interval into throughput — wall time and rate are reciprocal, so the
+/// interval ends swap. `None` below 2 trials or when the resampled wall
+/// times degenerate to zero.
+pub fn events_per_sec_ci(events: u64, wall_ms_trials: &[f64]) -> Option<(f64, f64)> {
+    let mut rng = SimRng::seed_from_u64(CI_SEED);
+    let ci = tpv_stats::bootstrap::bootstrap_ci(
+        wall_ms_trials,
+        tpv_stats::desc::median,
+        CI_LEVEL,
+        CI_RESAMPLES,
+        &mut rng,
+    )?;
+    if ci.low <= 0.0 {
+        return None;
+    }
+    Some((events as f64 / (ci.high / 1e3), events as f64 / (ci.low / 1e3)))
+}
+
+/// Two-sample-bootstrap 95% CI on the intra-run speedup, `(low, high)`.
+///
+/// The speedup is a ratio of two *independent* trial samples (serial and
+/// parallel legs time separate executions, not paired ones), so each
+/// bootstrap replicate resamples both legs independently and takes the
+/// ratio of their medians — the single-sample [`bootstrap_ci`] cannot
+/// express that. `None` when either leg has fewer than 2 trials or a
+/// resampled parallel median degenerates to zero.
+///
+/// [`bootstrap_ci`]: tpv_stats::bootstrap::bootstrap_ci
+pub fn speedup_ci(serial_ms: &[f64], parallel_ms: &[f64]) -> Option<(f64, f64)> {
+    if serial_ms.len() < 2 || parallel_ms.len() < 2 {
+        return None;
+    }
+    let mut rng = SimRng::seed_from_u64(CI_SEED ^ 1);
+    let mut ratios = Vec::with_capacity(CI_RESAMPLES);
+    let mut serial = vec![0.0; serial_ms.len()];
+    let mut parallel = vec![0.0; parallel_ms.len()];
+    for _ in 0..CI_RESAMPLES {
+        for slot in serial.iter_mut() {
+            *slot = serial_ms[rng.next_index(serial_ms.len())];
+        }
+        for slot in parallel.iter_mut() {
+            *slot = parallel_ms[rng.next_index(parallel_ms.len())];
+        }
+        let denom = tpv_stats::desc::median(&parallel);
+        if denom <= 0.0 {
+            return None;
+        }
+        ratios.push(tpv_stats::desc::median(&serial) / denom);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("NaN speedup replicate"));
+    let alpha = (1.0 - CI_LEVEL) / 2.0;
+    let lo = ((alpha * CI_RESAMPLES as f64) as usize).min(CI_RESAMPLES - 1);
+    let hi = (((1.0 - alpha) * CI_RESAMPLES as f64) as usize).min(CI_RESAMPLES - 1);
+    Some((ratios[lo], ratios[hi]))
 }
 
 /// Compares a fresh report against the checked-in baseline.
@@ -617,6 +729,11 @@ mod tests {
                     repeats: 16,
                     peak_rss_kb: 14_200,
                     wall_ms_trials: vec![3.21, 3.25, 3.30, 3.24, 3.27],
+                    events_per_sec_ci_low: 9_929_000.0,
+                    events_per_sec_ci_high: 10_207_000.0,
+                    wall_ms_parallel_trials: Vec::new(),
+                    speedup_ci_low: 0.0,
+                    speedup_ci_high: 0.0,
                 },
                 ScenarioReport {
                     name: "fleet_16".to_string(),
@@ -631,6 +748,11 @@ mod tests {
                     repeats: 2,
                     peak_rss_kb: 18_944,
                     wall_ms_trials: vec![42.1, 42.5, 43.0, 42.4, 42.9],
+                    events_per_sec_ci_low: 11_600_000.0,
+                    events_per_sec_ci_high: 11_900_000.0,
+                    wall_ms_parallel_trials: vec![11.2, 11.4, 11.3, 11.5, 11.25],
+                    speedup_ci_low: 3.61,
+                    speedup_ci_high: 3.90,
                 },
             ],
         }
@@ -657,7 +779,46 @@ mod tests {
             for (x, y) in a.wall_ms_trials.iter().zip(&b.wall_ms_trials) {
                 assert!((x - y).abs() < 1e-3);
             }
+            assert!((a.events_per_sec_ci_low - b.events_per_sec_ci_low).abs() < 1.0);
+            assert!((a.events_per_sec_ci_high - b.events_per_sec_ci_high).abs() < 1.0);
+            assert_eq!(a.wall_ms_parallel_trials.len(), b.wall_ms_parallel_trials.len());
+            for (x, y) in a.wall_ms_parallel_trials.iter().zip(&b.wall_ms_parallel_trials) {
+                assert!((x - y).abs() < 1e-3);
+            }
+            assert!((a.speedup_ci_low - b.speedup_ci_low).abs() < 1e-3);
+            assert!((a.speedup_ci_high - b.speedup_ci_high).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn events_per_sec_ci_brackets_the_point_estimate() {
+        let walls = [42.1, 42.5, 43.0, 42.4, 42.9, 42.6, 42.3];
+        let events = 500_000u64;
+        let (low, high) = events_per_sec_ci(events, &walls).expect("7 trials bootstrap fine");
+        let point = events as f64 / (tpv_stats::desc::median(&walls) / 1e3);
+        assert!(low <= point && point <= high, "CI [{low}, {high}] must bracket {point}");
+        assert!(low > 0.0);
+        // Deterministic: same trials, same interval.
+        assert_eq!(events_per_sec_ci(events, &walls), Some((low, high)));
+        // Too few trials: no interval rather than a fake one.
+        assert_eq!(events_per_sec_ci(events, &[42.0]), None);
+    }
+
+    #[test]
+    fn speedup_ci_brackets_the_ratio_and_detects_noise() {
+        // Tight legs around a 4x speedup: the CI hugs the ratio.
+        let serial = [160.0, 161.0, 159.5, 160.5, 160.2];
+        let parallel = [40.0, 40.3, 39.8, 40.1, 40.2];
+        let (low, high) = speedup_ci(&serial, &parallel).expect("5 trials per leg");
+        assert!(low > 3.8 && high < 4.2, "tight legs must give a tight CI, got [{low}, {high}]");
+        // A noisy parallel leg widens the interval downward — the lower
+        // bound is what the scaling gate binds on.
+        let noisy = [40.0, 80.0, 39.8, 75.0, 40.2];
+        let (noisy_low, _) = speedup_ci(&serial, &noisy).expect("5 trials per leg");
+        assert!(noisy_low < low, "noise must drag the lower bound down: {noisy_low} vs {low}");
+        // Single-trial legs: no interval.
+        assert_eq!(speedup_ci(&[160.0], &parallel), None);
+        assert_eq!(speedup_ci(&serial, &[40.0]), None);
     }
 
     #[test]
@@ -679,6 +840,7 @@ mod tests {
             repeats: 1,
             peak_rss_kb: 0,
             wall_ms_trials: vec![1.0, 1.1],
+            ..ScenarioReport::default()
         });
         let refreshed = refreshed_baseline(Some(base.clone()), &current);
         // Replaced in place, untouched entries kept, new ones appended.
@@ -851,6 +1013,7 @@ mod tests {
             repeats: 1,
             peak_rss_kb: 0,
             wall_ms_trials: Vec::new(),
+            ..ScenarioReport::default()
         });
         let verdicts = compare(&extra, &baseline, 2.0);
         assert!(

@@ -1,0 +1,96 @@
+//! Peak-RSS plumbing for the flat-memory gate in `perf_probe`.
+//!
+//! The kernel's cohort layer claims *flat* memory in the modeled client
+//! count, and the probe enforces it by comparing peak RSS around the
+//! million-client scenario. The raw signal is `VmHWM` from
+//! `/proc/self/status` — the process high-water mark, which is
+//! **monotonic** over the process lifetime. Monotonic readings can only
+//! gate "did the later scenario climb past the earlier one", not "what
+//! did *this* scenario peak at": an early scenario that briefly spiked
+//! would mask a later regression forever.
+//!
+//! [`reset_peak`] fixes that where the kernel allows it: writing `5` to
+//! `/proc/self/clear_refs` resets `VmHWM` to the *current* RSS, so a
+//! reset-before / read-after pair brackets one scenario's own peak.
+//! Both halves degrade gracefully — on kernels without the knob (or
+//! non-Linux) `reset_peak` reports `false` and callers fall back to the
+//! monotonic interpretation.
+
+use std::path::Path;
+
+/// Process peak RSS (`VmHWM`) in kB from `/proc/self/status`; `0` where
+/// the file or the field is unavailable (non-Linux). Monotonic since
+/// process start — or since the last successful [`reset_peak`].
+pub fn peak_rss_kb() -> u64 {
+    peak_rss_kb_from(Path::new("/proc/self/status"))
+}
+
+/// [`peak_rss_kb`] against an explicit status file (testable parser).
+fn peak_rss_kb_from(status_path: &Path) -> u64 {
+    let Ok(status) = std::fs::read_to_string(status_path) else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+/// Resets the `VmHWM` high-water mark to the current RSS by writing `5`
+/// to `/proc/self/clear_refs`. Returns `true` when the reset took, so a
+/// following [`peak_rss_kb`] reads the peak *since this call*; `false`
+/// where the knob is absent (non-Linux, restricted kernels) — readings
+/// then stay monotonic over the process lifetime.
+pub fn reset_peak() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vm_hwm_and_tolerates_missing_fields() {
+        let dir = std::env::temp_dir();
+        let good = dir.join("tpv_rss_good_status");
+        std::fs::write(&good, "Name:\tx\nVmHWM:\t   14200 kB\nVmRSS:\t  9000 kB\n").unwrap();
+        assert_eq!(peak_rss_kb_from(&good), 14_200);
+        let bad = dir.join("tpv_rss_bad_status");
+        std::fs::write(&bad, "Name:\tx\nVmRSS:\t  9000 kB\n").unwrap();
+        assert_eq!(peak_rss_kb_from(&bad), 0);
+        assert_eq!(peak_rss_kb_from(&dir.join("tpv_rss_no_such_file")), 0);
+    }
+
+    /// The regression this module exists to prevent: without a reset,
+    /// an early allocation spike poisons every later reading. After
+    /// [`reset_peak`], the high-water mark must drop back toward the
+    /// live RSS — i.e. readings are *per-window*, not process-lifetime.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn reset_makes_peak_readings_per_window() {
+        // Spike the peak well above steady state, then release.
+        let spike = 64 * 1024 * 1024;
+        let buf = vec![17u8; spike];
+        // Touching via from_elem above faults every page in; keep the
+        // sum so the allocation cannot be optimized away.
+        let sum: u64 = buf.iter().map(|&b| b as u64).sum();
+        assert_eq!(sum, 17 * spike as u64);
+        let peak_during = peak_rss_kb();
+        drop(buf);
+        if !reset_peak() {
+            // Kernel without the clear_refs knob: nothing to assert —
+            // the probe falls back to monotonic readings there too.
+            return;
+        }
+        let peak_after = peak_rss_kb();
+        assert!(peak_during > 0 && peak_after > 0, "VmHWM must be readable on Linux");
+        // The spike was ~64 MB; after release + reset the window peak
+        // must shed most of it (leave generous slack for allocator
+        // retention and test-harness noise).
+        assert!(
+            peak_after + 32 * 1024 <= peak_during,
+            "reset did not open a new window: {peak_during} kB before, {peak_after} kB after"
+        );
+    }
+}

@@ -222,6 +222,7 @@ enum Parallelism {
 pub struct Engine {
     parallelism: Option<Parallelism>,
     cache: Option<Arc<RunCache>>,
+    pin: crate::pin::PinPolicy,
 }
 
 impl Engine {
@@ -232,20 +233,34 @@ impl Engine {
 
     /// An engine that executes jobs in plan order on the calling thread.
     pub fn serial() -> Self {
-        Engine { parallelism: Some(Parallelism::Serial), cache: None }
+        Engine { parallelism: Some(Parallelism::Serial), ..Engine::default() }
     }
 
     /// An engine with an explicit worker count (`1` behaves like
     /// [`Engine::serial`]).
     pub fn with_workers(workers: usize) -> Self {
         let p = if workers <= 1 { Parallelism::Serial } else { Parallelism::Workers(workers) };
-        Engine { parallelism: Some(p), cache: None }
+        Engine { parallelism: Some(p), ..Engine::default() }
     }
 
     /// Attaches a shared run cache.
     pub fn with_cache(mut self, cache: Arc<RunCache>) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Sets the worker placement policy ([`crate::pin::PinPolicy`]) for
+    /// this engine's own job pool *and* the shard workers of
+    /// [`Engine::execute_sharded`]. Off by default; results are
+    /// bit-identical whatever the policy.
+    pub fn with_pin_policy(mut self, pin: crate::pin::PinPolicy) -> Self {
+        self.pin = pin;
+        self
+    }
+
+    /// The configured worker placement policy.
+    pub fn pin_policy(&self) -> crate::pin::PinPolicy {
+        self.pin
     }
 
     /// The attached cache, if any.
@@ -288,15 +303,21 @@ impl Engine {
         } else {
             let out = Mutex::new(Vec::with_capacity(jobs.len()));
             let next = AtomicUsize::new(0);
+            let pin = self.pin;
             std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        // Self-scheduling queue: each worker claims the next
-                        // unclaimed job, so long cells cannot idle the pool.
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(job) = jobs.get(i) else { break };
-                        let r = run(job);
-                        out.lock().expect("engine results poisoned").push((job.cell, job.run, r));
+                for w in 0..workers {
+                    let (out, next, run) = (&out, &next, &run);
+                    scope.spawn(move || {
+                        pin.apply(w);
+                        loop {
+                            // Self-scheduling queue: each worker claims the
+                            // next unclaimed job, so long cells cannot idle
+                            // the pool.
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = jobs.get(i) else { break };
+                            let r = run(job);
+                            out.lock().expect("engine results poisoned").push((job.cell, job.run, r));
+                        }
                     });
                 }
             });
@@ -353,7 +374,7 @@ impl Engine {
         let outer = self.effective_workers(plan.jobs().len());
         let intra = (self.requested_workers() / outer.max(1)).max(1);
         self.execute_jobs(plan, |job| {
-            crate::runtime::run_topology_sharded(&spec_of(job.cell), job.seed, intra)
+            crate::runtime::run_topology_sharded_with(&spec_of(job.cell), job.seed, intra, self.pin)
         })
     }
 

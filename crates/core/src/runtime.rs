@@ -10,8 +10,10 @@
 //! event loop:
 //!
 //! * events are node-indexed and carry only a `u32` key into a
-//!   [`tpv_sim::Slab`] of in-flight request records — per-request state
-//!   lives in the arena, not in every event variant;
+//!   [`tpv_sim::HotColdSlab`] of in-flight request records — per-request
+//!   state lives in the arena, not in every event variant, and the
+//!   fields every event touches (routing indices, latency stamp) sit in
+//!   a dense hot array apart from the cold descriptor/stage bytes;
 //! * each run draws fresh [`tpv_hw::RunEnvironment`]s for every machine —
 //!   the paper's "in between runs we reset the environment" — so per-run
 //!   samples are iid by construction;
@@ -52,7 +54,7 @@ use tpv_loadgen::{ArrivalProcess, ClientSide, GeneratorSpec, LoopMode, PointOfMe
 use tpv_net::{Connection, Link, LinkConfig};
 use tpv_services::request::StageCtx;
 use tpv_services::{NodeConn, RequestDescriptor, ServiceConfig, ServiceInstance};
-use tpv_sim::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime, Slab};
+use tpv_sim::{EventQueue, HotColdSlab, LatencyHistogram, SimDuration, SimRng, SimTime};
 
 use crate::collect::{
     Collector, MergeCollector, NodeStats, NullCollector, PerCohortCollector, PerNodeCollector,
@@ -175,8 +177,8 @@ impl RunResult {
 }
 
 /// A node-indexed simulation event. Per-request payloads live in the
-/// in-flight [`Slab`]; events carry only the key, so the event heap stays
-/// small and cache-friendly.
+/// in-flight [`HotColdSlab`]; events carry only the key, so the event
+/// heap stays small and cache-friendly.
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// A send is due on `conn` of `node`.
@@ -192,13 +194,25 @@ enum Event {
     PhaseStart { node: u16, phase: u16 },
 }
 
-/// Arena record of one in-flight request.
+/// Hot half of an in-flight request record: the fields touched on
+/// *every* event of the request's life — routing indices and the
+/// latency stamp. Kept to 16 bytes so the [`HotColdSlab`]'s hot array
+/// stays dense (a few cache lines per hundred in-flight requests); the
+/// descriptor and stage context ride in [`ColdInFlight`], loaded only on
+/// server-side stage transitions.
 #[derive(Debug, Clone, Copy)]
-struct InFlight {
+struct HotInFlight {
     node: u16,
     conn: u32,
-    desc: RequestDescriptor,
     stamp: SimTime,
+}
+
+/// Cold half of an in-flight request record: what the service needs to
+/// admit and resume the request, untouched by the client-side send and
+/// delivery paths.
+#[derive(Debug, Clone, Copy)]
+struct ColdInFlight {
+    desc: RequestDescriptor,
     stage: u8,
     ctx: StageCtx,
 }
@@ -782,7 +796,7 @@ fn run_partition<C: Collector>(
     let total_qps: f64 = states.iter().map(|s| s.qps).sum();
     let mut queue: EventQueue<Event> =
         EventQueue::with_spacing(4 * total_conns, SimDuration::from_secs_f64(1.0 / total_qps));
-    let mut requests: Slab<InFlight> = Slab::with_capacity(2 * total_conns);
+    let mut requests: HotColdSlab<HotInFlight, ColdInFlight> = HotColdSlab::with_capacity(2 * total_conns);
 
     // Stagger every connection's start phase uniformly across one of its
     // node's mean gaps.
@@ -815,96 +829,114 @@ fn run_partition<C: Collector>(
 
     let mut hist = LatencyHistogram::new();
 
-    while let Some((now, event)) = queue.pop() {
-        if now > horizon {
+    // Dispatch in tie-run batches: `pop_batch` drains every event sharing
+    // the earliest timestamp in one call, amortizing the queue's per-pop
+    // bookkeeping. All batch members report the same clamped `now`, so
+    // the drain-horizon check moves out of the per-event path; events a
+    // handler schedules at the batch's own timestamp land in a later
+    // batch, exactly where FIFO tie order already places them — the
+    // dispatch sequence is the one-at-a-time pop sequence unchanged.
+    // Dispatch in tie-run batches: `pop_batch` drains every event sharing
+    // the earliest timestamp in one call, amortizing the queue's per-pop
+    // bookkeeping. All batch members report the same clamped `now`, so
+    // the drain-horizon check moves out of the per-event path; events a
+    // handler schedules at the batch's own timestamp land in a later
+    // batch, exactly where FIFO tie order already places them — the
+    // dispatch sequence is the one-at-a-time pop sequence unchanged.
+    let mut batch: Vec<(SimTime, Event)> = Vec::with_capacity(64);
+    while queue.pop_batch(&mut batch) > 0 {
+        if batch[0].0 > horizon {
             break;
         }
-        collector.on_event(now);
-        match event {
-            Event::SendDue { node, conn } => {
-                let st = &mut states[node as usize];
-                let desc = match st.desc_rng.as_mut() {
-                    Some(rng) => service.next_descriptor(rng),
-                    None => service.next_descriptor(&mut service_rng),
-                };
-                let plan = st.client.plan_send(conn as usize, now, &mut st.client_rng);
-                let raw = plan.wire + st.link.one_way(&mut st.net_rng);
-                let arrival = st.conns[conn as usize].deliver_to_server(raw);
-                collector.on_send(global[node as usize], conn, now, plan.wire);
-                if plan.stamp >= window_start && plan.stamp < window_end {
-                    st.inflight_measured += 1;
-                }
-                let req = requests.insert(InFlight {
-                    node,
-                    conn,
-                    desc,
-                    stamp: plan.stamp,
-                    stage: 0,
-                    ctx: StageCtx::default(),
-                });
-                queue.schedule(arrival, Event::ServerArrival { req });
-                if st.loop_mode == LoopMode::Open {
-                    let next = now + st.arrivals.next_gap(&mut st.arrival_rng);
-                    if next < window_end {
-                        queue.schedule(next, Event::SendDue { node, conn });
+        for &(now, event) in &batch {
+            collector.on_event(now);
+            match event {
+                Event::SendDue { node, conn } => {
+                    let st = &mut states[node as usize];
+                    let desc = match st.desc_rng.as_mut() {
+                        Some(rng) => service.next_descriptor(rng),
+                        None => service.next_descriptor(&mut service_rng),
+                    };
+                    let plan = st.client.plan_send(conn as usize, now, &mut st.client_rng);
+                    let raw = plan.wire + st.link.one_way(&mut st.net_rng);
+                    let arrival = st.conns[conn as usize].deliver_to_server(raw);
+                    collector.on_send(global[node as usize], conn, now, plan.wire);
+                    if plan.stamp >= window_start && plan.stamp < window_end {
+                        st.inflight_measured += 1;
+                    }
+                    let req = requests.insert(
+                        HotInFlight { node, conn, stamp: plan.stamp },
+                        ColdInFlight { desc, stage: 0, ctx: StageCtx::default() },
+                    );
+                    queue.schedule(arrival, Event::ServerArrival { req });
+                    if st.loop_mode == LoopMode::Open {
+                        let next = now + st.arrivals.next_gap(&mut st.arrival_rng);
+                        if next < window_end {
+                            queue.schedule(next, Event::SendDue { node, conn });
+                        }
                     }
                 }
-            }
-            Event::ServerArrival { req } => {
-                let r = *requests.get(req);
-                let key = NodeConn { node_key: states[r.node as usize].node_key, conn: r.conn };
-                match service.admit(key.affinity_key(), &r.desc, now, &mut service_rng) {
-                    tpv_services::request::StageOutcome::Done(done) => {
-                        let st = &mut states[r.node as usize];
-                        let raw = done.response_wire + st.link.one_way(&mut st.net_rng);
-                        let nic = st.link.coalesce(st.conns[r.conn as usize].deliver_to_client(raw));
-                        queue.schedule(nic, Event::ClientDelivery { req });
-                    }
-                    tpv_services::request::StageOutcome::Continue { at, stage, ctx } => {
-                        let slot = requests.get_mut(req);
-                        slot.stage = stage;
-                        slot.ctx = ctx;
-                        queue.schedule(at, Event::ServiceStage { req });
-                    }
-                }
-            }
-            Event::ServiceStage { req } => {
-                let r = *requests.get(req);
-                let key = NodeConn { node_key: states[r.node as usize].node_key, conn: r.conn };
-                match service.resume(key.affinity_key(), &r.desc, r.stage, r.ctx, now, &mut service_rng) {
-                    tpv_services::request::StageOutcome::Done(done) => {
-                        let st = &mut states[r.node as usize];
-                        let raw = done.response_wire + st.link.one_way(&mut st.net_rng);
-                        let nic = st.link.coalesce(st.conns[r.conn as usize].deliver_to_client(raw));
-                        queue.schedule(nic, Event::ClientDelivery { req });
-                    }
-                    tpv_services::request::StageOutcome::Continue { at, stage, ctx } => {
-                        let slot = requests.get_mut(req);
-                        slot.stage = stage;
-                        slot.ctx = ctx;
-                        queue.schedule(at, Event::ServiceStage { req });
+                Event::ServerArrival { req } => {
+                    let r = *requests.hot(req);
+                    let key = NodeConn { node_key: states[r.node as usize].node_key, conn: r.conn };
+                    let outcome =
+                        service.admit(key.affinity_key(), &requests.cold(req).desc, now, &mut service_rng);
+                    match outcome {
+                        tpv_services::request::StageOutcome::Done(done) => {
+                            let st = &mut states[r.node as usize];
+                            let raw = done.response_wire + st.link.one_way(&mut st.net_rng);
+                            let nic = st.link.coalesce(st.conns[r.conn as usize].deliver_to_client(raw));
+                            queue.schedule(nic, Event::ClientDelivery { req });
+                        }
+                        tpv_services::request::StageOutcome::Continue { at, stage, ctx } => {
+                            let slot = requests.cold_mut(req);
+                            slot.stage = stage;
+                            slot.ctx = ctx;
+                            queue.schedule(at, Event::ServiceStage { req });
+                        }
                     }
                 }
-            }
-            Event::ClientDelivery { req } => {
-                let r = requests.remove(req);
-                let st = &mut states[r.node as usize];
-                let recv = st.client.receive(r.conn as usize, now, &mut st.client_rng);
-                let measured = recv.stamp(st.pom).since(r.stamp);
-                if r.stamp >= window_start && r.stamp < window_end {
-                    st.inflight_measured -= 1;
-                    hist.record(measured);
-                    collector.on_latency(global[r.node as usize], r.stamp, measured);
-                }
-                if st.loop_mode == LoopMode::Closed {
-                    let next = recv.app + st.think_time;
-                    if next < window_end {
-                        queue.schedule(next, Event::SendDue { node: r.node, conn: r.conn });
+                Event::ServiceStage { req } => {
+                    let r = *requests.hot(req);
+                    let key = NodeConn { node_key: states[r.node as usize].node_key, conn: r.conn };
+                    let c = requests.cold(req);
+                    let outcome =
+                        service.resume(key.affinity_key(), &c.desc, c.stage, c.ctx, now, &mut service_rng);
+                    match outcome {
+                        tpv_services::request::StageOutcome::Done(done) => {
+                            let st = &mut states[r.node as usize];
+                            let raw = done.response_wire + st.link.one_way(&mut st.net_rng);
+                            let nic = st.link.coalesce(st.conns[r.conn as usize].deliver_to_client(raw));
+                            queue.schedule(nic, Event::ClientDelivery { req });
+                        }
+                        tpv_services::request::StageOutcome::Continue { at, stage, ctx } => {
+                            let slot = requests.cold_mut(req);
+                            slot.stage = stage;
+                            slot.ctx = ctx;
+                            queue.schedule(at, Event::ServiceStage { req });
+                        }
                     }
                 }
-            }
-            Event::PhaseStart { node, phase } => {
-                states[node as usize].enter_phase(phase as usize);
+                Event::ClientDelivery { req } => {
+                    let r = requests.remove(req);
+                    let st = &mut states[r.node as usize];
+                    let recv = st.client.receive(r.conn as usize, now, &mut st.client_rng);
+                    let measured = recv.stamp(st.pom).since(r.stamp);
+                    if r.stamp >= window_start && r.stamp < window_end {
+                        st.inflight_measured -= 1;
+                        hist.record(measured);
+                        collector.on_latency(global[r.node as usize], r.stamp, measured);
+                    }
+                    if st.loop_mode == LoopMode::Closed {
+                        let next = recv.app + st.think_time;
+                        if next < window_end {
+                            queue.schedule(next, Event::SendDue { node: r.node, conn: r.conn });
+                        }
+                    }
+                }
+                Event::PhaseStart { node, phase } => {
+                    states[node as usize].enter_phase(phase as usize);
+                }
             }
         }
     }
@@ -961,10 +993,27 @@ fn run_partition<C: Collector>(
 ///
 /// Panics on the same invalid specs as [`run_collected`].
 pub fn run_topology_sharded(topo: &TopologySpec<'_>, seed: u64, workers: usize) -> ShardedFleetResult {
+    run_topology_sharded_with(topo, seed, workers, crate::pin::PinPolicy::Off)
+}
+
+/// [`run_topology_sharded`] with an explicit worker
+/// [`PinPolicy`](crate::pin::PinPolicy) — same determinism contract:
+/// the result is bit-identical whatever the policy, the worker count or
+/// the OS schedule.
+///
+/// # Panics
+///
+/// Panics on the same invalid specs as [`run_collected`].
+pub fn run_topology_sharded_with(
+    topo: &TopologySpec<'_>,
+    seed: u64,
+    workers: usize,
+    pin: crate::pin::PinPolicy,
+) -> ShardedFleetResult {
     let layout = topo.layout();
     let n = layout.len();
     let (aggregate, shards, collector) =
-        run_sharded_collected(topo, seed, workers, |_| PerNodeCollector::new(n));
+        run_sharded_collected_with(topo, seed, workers, pin, |_| PerNodeCollector::new(n));
     ShardedFleetResult { fleet: FleetResult { aggregate, nodes: node_results(&layout, collector) }, shards }
 }
 
@@ -1036,6 +1085,30 @@ where
     C: MergeCollector + Send,
     F: Fn(usize) -> C + Sync,
 {
+    run_sharded_collected_with(topo, seed, workers, crate::pin::PinPolicy::Off, make)
+}
+
+/// [`run_sharded_collected`] with an explicit worker [`PinPolicy`].
+///
+/// Identical results whatever the policy — pinning only decides *where*
+/// worker threads run, never *what* they compute (see [`crate::pin`]).
+///
+/// # Panics
+///
+/// Panics on the same invalid specs as [`run_collected`].
+///
+/// [`PinPolicy`]: crate::pin::PinPolicy
+pub fn run_sharded_collected_with<C, F>(
+    topo: &TopologySpec<'_>,
+    seed: u64,
+    workers: usize,
+    pin: crate::pin::PinPolicy,
+    make: F,
+) -> (RunResult, Vec<ShardResult>, C)
+where
+    C: MergeCollector + Send,
+    F: Fn(usize) -> C + Sync,
+{
     validate_topology(topo);
     let layout = topo.layout();
     let master = SimRng::seed_from_u64(seed);
@@ -1051,21 +1124,67 @@ where
             })
             .collect()
     } else {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let next = AtomicUsize::new(0);
-        let out: std::sync::Mutex<Vec<(usize, PartitionOutcome, C)>> =
-            std::sync::Mutex::new(Vec::with_capacity(plans.len()));
+        use std::collections::VecDeque;
+        use std::sync::Mutex;
+
+        // Work stealing over the shard sub-simulations. A `HotShard`
+        // tier concentrates most of the fleet in one partition; the old
+        // self-scheduling queue handed shards out in declaration order,
+        // so whichever worker drew the hot shard ran long while the
+        // others drained the cheap tail and idled. Two measures fix
+        // that: (1) seed the per-worker deques LPT-greedy — shards
+        // sorted by estimated cost (offered QPS, the event-count driver)
+        // go each to the least-loaded worker, so the hot shard starts
+        // immediately on a dedicated worker — and (2) let idle workers
+        // steal from the back of their neighbours' deques, so estimation
+        // error moves work instead of idling a core. No task is ever
+        // *created* after seeding, so a worker that finds every deque
+        // empty can safely exit. Results still carry their shard index
+        // and merge in canonical order below — the steal schedule
+        // cannot leak into a single bit of the output.
+        let cost = |s: usize| plans[s].members.iter().map(|&(_, node, _)| node.qps).sum::<f64>();
+        let mut order: Vec<usize> = (0..plans.len()).collect();
+        order.sort_by(|&a, &b| cost(b).total_cmp(&cost(a)).then(a.cmp(&b)));
+        let mut loads = vec![0.0f64; workers];
+        let mut seeded: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for s in order {
+            let w = (0..workers)
+                .min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)))
+                .expect("workers >= 2 here");
+            loads[w] += cost(s).max(1.0);
+            seeded[w].push_back(s);
+        }
+        let queues: Vec<Mutex<VecDeque<usize>>> = seeded.into_iter().map(Mutex::new).collect();
+        let out: Mutex<Vec<(usize, PartitionOutcome, C)>> = Mutex::new(Vec::with_capacity(plans.len()));
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    // Self-scheduling: each worker claims the next
-                    // unclaimed shard, so a hot shard cannot idle the
-                    // pool while cold shards wait.
-                    let s = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(plan) = plans.get(s) else { break };
-                    let mut collector = make(plan.shard);
-                    let outcome = run_partition(topo, plan, &master, &mut collector);
-                    out.lock().expect("shard results poisoned").push((s, outcome, collector));
+            for w in 0..workers {
+                let queues = &queues;
+                let out = &out;
+                let plans = &plans;
+                let master = &master;
+                let make = &make;
+                scope.spawn(move || {
+                    pin.apply(w);
+                    loop {
+                        // Own deque first (front — the LPT order), then
+                        // round-robin over victims (back — the cheap
+                        // tail, minimizing contention with the owner).
+                        let mut task = queues[w].lock().expect("shard deque poisoned").pop_front();
+                        if task.is_none() {
+                            for off in 1..workers {
+                                let v = (w + off) % workers;
+                                task = queues[v].lock().expect("shard deque poisoned").pop_back();
+                                if task.is_some() {
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(s) = task else { break };
+                        let plan = &plans[s];
+                        let mut collector = make(plan.shard);
+                        let outcome = run_partition(topo, plan, master, &mut collector);
+                        out.lock().expect("shard results poisoned").push((s, outcome, collector));
+                    }
                 });
             }
         });

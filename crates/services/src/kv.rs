@@ -63,8 +63,30 @@ impl KvStore {
     ///
     /// Panics if `shards == 0`.
     pub fn new(shards: usize) -> Self {
+        Self::with_key_capacity(shards, 0)
+    }
+
+    /// An empty store pre-sized for about `keys` resident keys spread
+    /// over `shards` shards — skips the rehash chain a large preload
+    /// (e.g. the ETC cache fill) would otherwise walk. Capacity is an
+    /// allocation hint only; contents and lookup results are identical
+    /// to [`KvStore::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_key_capacity(shards: usize, keys: usize) -> Self {
         assert!(shards > 0, "store needs at least one shard");
-        KvStore { shards: (0..shards).map(|_| FxHashMap::default()).collect(), hits: 0, misses: 0 }
+        // Headroom over the even split: Fibonacci sharding is not
+        // perfectly uniform, and hash maps resize at ~7/8 load.
+        let per_shard = keys / shards + keys / (4 * shards).max(1) + 8;
+        KvStore {
+            shards: (0..shards)
+                .map(|_| FxHashMap::with_capacity_and_hasher(per_shard, Default::default()))
+                .collect(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn shard_of(&self, key: u64) -> usize {
@@ -202,7 +224,7 @@ impl KvService {
         horizon: SimDuration,
         rng: &mut SimRng,
     ) -> Self {
-        let mut store = KvStore::new(config.workers.max(1) * 4);
+        let mut store = KvStore::with_key_capacity(config.workers.max(1) * 4, config.preload_keys as usize);
         let workload = EtcWorkload::new(config.preload_keys);
         // Preload so GETs mostly hit (ETC is a cache-fill-then-read
         // pattern; the paper fills before measuring).

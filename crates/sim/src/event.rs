@@ -32,6 +32,23 @@
 //! *bit-identical* to the straightforward binary-heap implementation it
 //! replaced — `tests/event_queue.rs` cross-checks the two on random
 //! schedules.
+//!
+//! # Batched draining
+//!
+//! [`EventQueue::pop_batch`] drains a whole *tie run* — every pending
+//! event sharing the earliest timestamp — in one call, so a dispatch
+//! loop pays the queue's per-pop bookkeeping once per distinct
+//! timestamp instead of once per event. The concatenation of successive
+//! batches is exactly the one-at-a-time [`EventQueue::pop`] sequence;
+//! batch *boundaries* carry no semantic weight. Batching is safe
+//! against concurrent scheduling from the caller's dispatch loop: an
+//! event scheduled *at* the batch's timestamp while the batch is being
+//! processed necessarily gets a higher sequence number, so FIFO order
+//! already places it after every batch member — it simply opens the
+//! next batch. Ties cannot hide elsewhere in the structure: equal raw
+//! timestamps share a slot, and by the time the pop scan reads a
+//! bucket every far-heap event of that slot has migrated in, so a tie
+//! run is always fully resident in the cursor bucket.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -107,6 +124,9 @@ pub struct EventQueue<E> {
     pops_in_period: u64,
     /// Empty buckets scanned since the last adaptation checkpoint.
     scans_in_period: u64,
+    /// Reusable buffer for [`EventQueue::pop_batch`]'s tie-run
+    /// extraction, kept on the queue so a batch pop never allocates.
+    scratch: Vec<Entry<E>>,
 }
 
 #[derive(Debug, Clone)]
@@ -170,7 +190,11 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(capacity: usize) -> Self {
         let buckets = capacity.next_power_of_two().clamp(1024, 4096);
         EventQueue {
-            buckets: (0..buckets).map(|_| Vec::new()).collect(),
+            // A few slots of headroom per bucket: a freshly filled queue
+            // otherwise pays the 1→2→4 realloc chain in thousands of
+            // buckets during its first window. Purely an allocation
+            // pattern — pop order is unaffected.
+            buckets: (0..buckets).map(|_| Vec::with_capacity(4)).collect(),
             mask: buckets as u64 - 1,
             shift: INITIAL_SHIFT,
             cursor: 0,
@@ -183,6 +207,7 @@ impl<E> EventQueue<E> {
             last_seq: u64::MAX,
             pops_in_period: 0,
             scans_in_period: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -336,6 +361,121 @@ impl<E> EventQueue<E> {
                 self.jump_to_far();
             }
         }
+    }
+
+    /// Drains the earliest *tie run* — every pending event sharing the
+    /// earliest raw timestamp — into `out` (cleared first), returning
+    /// the number of events drained (0 when the queue is empty).
+    ///
+    /// The concatenation of successive batches is exactly the
+    /// one-at-a-time [`EventQueue::pop`] sequence: batch members share
+    /// one raw timestamp and arrive in FIFO (`seq`) order, which is
+    /// precisely how [`EventQueue::pop`] would emit them. In release
+    /// builds a past-scheduled event clamped to a later time pops at
+    /// the same clamped instant as its batch's members but in a batch
+    /// of its own — batch *boundaries* carry no meaning, so the
+    /// dispatch sequence is still the pop sequence.
+    ///
+    /// The common no-tie case costs exactly one bucket min-scan — the
+    /// same work [`EventQueue::pop`] does — because the scan that finds
+    /// the minimum also counts the entries tied with it.
+    pub fn pop_batch(&mut self, out: &mut Vec<(SimTime, E)>) -> usize {
+        out.clear();
+        if self.len == 0 {
+            return 0;
+        }
+        if self.near_len == 0 {
+            self.jump_to_far();
+        }
+        loop {
+            let idx = (self.cursor & self.mask) as usize;
+            if !self.buckets[idx].is_empty() {
+                // One scan: locate the earliest `(time, seq)` and count
+                // the entries sharing its timestamp (the tie run). Every
+                // tied entry is in this bucket — equal raw times share a
+                // slot, and the far heap only holds slots beyond the
+                // window (see the module docs).
+                let bucket = &self.buckets[idx];
+                let mut best = 0;
+                let mut best_key = (bucket[0].at, bucket[0].seq);
+                let mut run = 1usize;
+                for (i, e) in bucket.iter().enumerate().skip(1) {
+                    if e.at < best_key.0 {
+                        best = i;
+                        best_key = (e.at, e.seq);
+                        run = 1;
+                    } else if e.at == best_key.0 {
+                        run += 1;
+                        if e.seq < best_key.1 {
+                            best = i;
+                            best_key = (e.at, e.seq);
+                        }
+                    }
+                }
+                if run == 1 {
+                    let entry = self.buckets[idx].swap_remove(best);
+                    self.finish_pop(entry, out);
+                } else {
+                    // Extract the run back-to-front — `swap_remove` only
+                    // pulls already-examined tail entries into the hole —
+                    // then restore FIFO order by `seq`. `scratch` is
+                    // detached from `self` for the duration so the
+                    // per-entry bookkeeping below can borrow the queue.
+                    let at = best_key.0;
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    let bucket = &mut self.buckets[idx];
+                    let mut i = bucket.len();
+                    while i > 0 {
+                        i -= 1;
+                        if bucket[i].at == at {
+                            scratch.push(bucket.swap_remove(i));
+                        }
+                    }
+                    scratch.sort_unstable_by_key(|e| e.seq);
+                    for entry in scratch.drain(..) {
+                        self.finish_pop(entry, out);
+                    }
+                    self.scratch = scratch;
+                }
+                return out.len();
+            }
+            self.cursor += 1;
+            self.scans_in_period += 1;
+            if self.far_next_slot < self.cursor + self.buckets.len() as u64 {
+                self.drain_far();
+            }
+            if self.near_len == 0 {
+                self.jump_to_far();
+            }
+        }
+    }
+
+    /// Per-entry bookkeeping shared by the [`EventQueue::pop_batch`]
+    /// paths: adaptation accounting, the monotonic-clock clamp, the FIFO
+    /// tie assertion, and the push into the caller's batch. Mirrors the
+    /// tail of [`EventQueue::pop`] exactly.
+    #[inline]
+    fn finish_pop(&mut self, entry: Entry<E>, out: &mut Vec<(SimTime, E)>) {
+        self.near_len -= 1;
+        self.len -= 1;
+        self.pops_in_period += 1;
+        if self.pops_in_period == ADAPT_PERIOD {
+            if self.scans_in_period > ADAPT_SCAN_RATIO * ADAPT_PERIOD && self.shift < MAX_SHIFT {
+                self.widen();
+            }
+            self.pops_in_period = 0;
+            self.scans_in_period = 0;
+        }
+        let at = entry.at.max(self.last_popped);
+        debug_assert!(
+            self.last_seq == u64::MAX || at > self.last_popped || entry.seq > self.last_seq,
+            "FIFO tie order violated at {at}: seq {} after {}",
+            entry.seq,
+            self.last_seq
+        );
+        self.last_popped = at;
+        self.last_seq = entry.seq;
+        out.push((at, entry.event));
     }
 
     /// The timestamp of the next event without removing it.

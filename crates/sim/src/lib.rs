@@ -54,6 +54,6 @@ pub use hist::LatencyHistogram;
 pub use lindley::FifoResource;
 pub use phase::PhaseSchedule;
 pub use rng::SimRng;
-pub use slab::Slab;
+pub use slab::{HotColdSlab, Slab};
 pub use time::{SimDuration, SimTime};
 pub use welford::Welford;

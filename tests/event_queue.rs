@@ -143,6 +143,84 @@ proptest! {
         }
     }
 
+    /// Batched draining is presentation, not order: the concatenation
+    /// of `pop_batch` results equals the one-at-a-time pop sequence,
+    /// and every batch is a single timestamp's FIFO run.
+    #[test]
+    fn pop_batch_concatenation_matches_pop_sequence(
+        times in prop::collection::vec(0u64..1024, 1..600),
+        scale_pick in 0u32..3,
+    ) {
+        // Few distinct timestamps at several magnitudes ⇒ plenty of
+        // multi-event tie runs in every bucket-width regime.
+        let scale = [1u64, 1_000, 1_000_000][scale_pick as usize];
+        let mut batched = EventQueue::new();
+        let mut plain = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            let at = SimTime::from_ns(t * scale);
+            batched.schedule(at, i);
+            plain.schedule(at, i);
+        }
+        let mut batch: Vec<(SimTime, usize)> = Vec::new();
+        let mut drained = 0;
+        while batched.pop_batch(&mut batch) > 0 {
+            for pair in batch.windows(2) {
+                prop_assert_eq!(pair[0].0, pair[1].0, "a batch must be one timestamp's tie run");
+                prop_assert!(pair[0].1 < pair[1].1, "tie run out of FIFO order: {} before {}", pair[0].1, pair[1].1);
+            }
+            for &(at, id) in &batch {
+                let (want_at, want_id) = plain.pop().expect("batched queue drained extra events");
+                prop_assert_eq!(at, want_at);
+                prop_assert_eq!(id, want_id);
+                drained += 1;
+            }
+        }
+        prop_assert_eq!(drained, times.len());
+        prop_assert!(plain.pop().is_none(), "batched queue ended early");
+    }
+
+    /// `pop_batch` under interleaved schedule/drain traffic — the shape
+    /// the runtime's dispatch loop produces, where events scheduled
+    /// between batches can tie with times already drained — still
+    /// matches the one-at-a-time pop sequence event for event.
+    #[test]
+    fn pop_batch_matches_pop_under_interleaving(
+        offsets in prop::collection::vec((0u64..20_000_000, 1u64..4), 1..300),
+    ) {
+        let mut batched = EventQueue::new();
+        let mut plain = EventQueue::new();
+        let mut next_id = 0u64;
+        let mut clock = SimTime::ZERO;
+        let mut batch: Vec<(SimTime, u64)> = Vec::new();
+        for &(offset, burst) in &offsets {
+            for b in 0..burst {
+                let at = clock + SimDuration::from_ns(offset + b);
+                batched.schedule(at, next_id);
+                plain.schedule(at, next_id);
+                next_id += 1;
+            }
+            // Drain one batch per burst and mirror it with that many
+            // single pops; the clock advances to the last popped time.
+            if batched.pop_batch(&mut batch) > 0 {
+                for &(at, id) in &batch {
+                    let (want_at, want_id) = plain.pop().expect("plain queue ended early");
+                    prop_assert_eq!(at, want_at);
+                    prop_assert_eq!(id, want_id);
+                }
+                clock = batch.last().expect("non-empty batch").0;
+            }
+        }
+        // Drain the tails in lockstep.
+        while batched.pop_batch(&mut batch) > 0 {
+            for &(at, id) in &batch {
+                let (want_at, want_id) = plain.pop().expect("plain queue ended early");
+                prop_assert_eq!(at, want_at);
+                prop_assert_eq!(id, want_id);
+            }
+        }
+        prop_assert!(plain.pop().is_none(), "batched queue ended early");
+    }
+
     /// `len` and `peek_time` agree with the pop sequence.
     #[test]
     fn len_and_peek_are_consistent(times in prop::collection::vec(0u64..10_000_000, 1..200)) {

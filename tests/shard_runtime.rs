@@ -8,8 +8,11 @@
 
 use tpv_core::collect::EventCountCollector;
 use tpv_core::engine::{fingerprint_topology, Engine, JobPlan};
-use tpv_core::runtime::{run_collected, run_sharded_collected, run_topology, run_topology_sharded};
+use tpv_core::runtime::{
+    run_collected, run_sharded_collected, run_topology, run_topology_sharded, run_topology_sharded_with,
+};
 use tpv_core::topology::{ClientNode, ShardPolicy, ShardSpec, ShardedFleetResult, TopologySpec};
+use tpv_core::PinPolicy;
 use tpv_hw::MachineConfig;
 use tpv_loadgen::GeneratorSpec;
 use tpv_net::LinkConfig;
@@ -206,6 +209,39 @@ fn hot_shard_policy_skews_the_per_shard_tail() {
 }
 
 #[test]
+fn work_stealing_and_pinning_are_schedule_invariant_under_hot_shard_skew() {
+    // A HotShard tier is the worst case for the worker pool: one shard
+    // carries half the fleet, so LPT seeding leaves most workers
+    // underloaded and the steal path actually fires. Whatever the
+    // worker count, the stolen schedule — and a core-pinned one — must
+    // reproduce the serial execution bit for bit: scheduling is
+    // presentation, not physics.
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let gen = GeneratorSpec::mutilate().with_connections(20);
+    let nodes: Vec<ClientNode> = (0..16)
+        .map(|i| {
+            ClientNode::new(
+                format!("agent{i}"),
+                MachineConfig::high_performance(),
+                gen,
+                LinkConfig::cloudlab_lan(),
+                40_000.0 + 5_000.0 * i as f64, // uneven loads sharpen the imbalance
+            )
+        })
+        .collect();
+    let hot = ShardSpec::uniform(server, 4).with_policy(ShardPolicy::HotShard { hot: 1, share: 0.5 });
+    let spec = topo(&service, &server, &nodes, Some(&hot));
+    let serial = run_topology_sharded_with(&spec, 29, 1, PinPolicy::Off);
+    for workers in [2, 3, 4, 8] {
+        let stolen = run_topology_sharded_with(&spec, 29, workers, PinPolicy::Off);
+        assert_eq!(serial, stolen, "{workers}-worker stolen schedule drifted from serial");
+        let pinned = run_topology_sharded_with(&spec, 29, workers, PinPolicy::RoundRobin);
+        assert_eq!(serial, pinned, "{workers}-worker pinned schedule drifted from serial");
+    }
+}
+
+#[test]
 fn run_phased_rejects_multi_shard_tiers() {
     // Per-phase pooled stats accumulate float state in shard feed
     // order, which would break shard-enumeration invariance — so the
@@ -247,6 +283,9 @@ fn engine_execute_sharded_is_parallelism_invariant() {
     let serial = Engine::serial().execute_sharded(&plan, |_| spec);
     let parallel = Engine::with_workers(8).execute_sharded(&plan, |_| spec);
     assert_eq!(serial, parallel, "engine scheduling must not change sharded results");
+    let pinned =
+        Engine::with_workers(8).with_pin_policy(PinPolicy::RoundRobin).execute_sharded(&plan, |_| spec);
+    assert_eq!(serial, pinned, "core pinning must not change sharded results");
     assert_eq!(serial.len(), 3);
     let direct: Vec<(usize, usize, ShardedFleetResult)> =
         plan.jobs().iter().map(|j| (j.cell, j.run, run_topology_sharded(&spec, j.seed, 1))).collect();
