@@ -9,7 +9,11 @@
 //!   multi-node hot loop the studies sweep (and the scenario the 1.3x
 //!   speedup target of PR 4 is defined on).
 //! * `diurnal_8` — an 8-node fleet under a 6-step diurnal rate plan:
-//!   the phased kernel with per-phase collection.
+//!   the phased kernel with per-phase collection. With `--shards K`
+//!   (K > 1) the same fleet fans out over a uniform K-shard tier, so
+//!   the probe times the phased×sharded path — work-stealing dispatch
+//!   plus canonical-order per-phase merges — instead of the
+//!   single-stream kernel.
 //! * `fleet_256` — 256 nodes over a 16-shard server tier: the sharded
 //!   kernel's scale regime. Timed twice — forced serial and on the
 //!   machine's cores — so the report records the intra-run parallel
@@ -39,7 +43,7 @@
 //!
 //! ```text
 //! perf_probe [--quick] [--trials N] [--out PATH] [--scenario NAME]
-//!            [--baseline PATH [--max-regression F]] [--pin]
+//!            [--shards K] [--baseline PATH [--max-regression F]] [--pin]
 //!            [--min-shard-speedup F] [--summary PATH] [--write-baseline]
 //! ```
 //!
@@ -112,7 +116,14 @@ struct Options {
     /// Pin shard workers round-robin over cores (and smoke-check that
     /// pinned and unpinned executions are bit-identical).
     pin: bool,
+    /// Shard count for `diurnal_8`: K > 1 runs the phased fleet over a
+    /// K-shard tier through the canonical-order per-phase merge path.
+    shards: usize,
 }
+
+/// Shard count `diurnal_8` reads (the scenario matrix is `fn` pointers,
+/// so the knob travels out of band). Set once in `main` from `--shards`.
+static DIURNAL_SHARDS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -126,6 +137,7 @@ fn parse_args() -> Result<Options, String> {
         summary: None,
         min_shard_speedup: 3.0,
         pin: false,
+        shards: 1,
     };
     let mut explicit_trials = None;
     let mut args = std::env::args().skip(1);
@@ -148,6 +160,13 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--scenario" => opts.scenario = Some(args.next().ok_or("--scenario needs a name")?),
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a value")?;
+                opts.shards = v.parse::<usize>().map_err(|e| format!("--shards: {e}"))?;
+                if opts.shards == 0 {
+                    return Err("--shards must be positive".to_string());
+                }
+            }
             "--pin" => opts.pin = true,
             "--write-baseline" => opts.write_baseline = true,
             "--summary" => opts.summary = Some(PathBuf::from(args.next().ok_or("--summary needs a path")?)),
@@ -163,7 +182,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "perf_probe [--quick] [--trials N] [--out PATH] [--scenario NAME] \
+                    "perf_probe [--quick] [--trials N] [--out PATH] [--scenario NAME] [--shards K] \
                      [--baseline PATH [--max-regression F]] [--pin] [--min-shard-speedup F] \
                      [--summary PATH] [--write-baseline]"
                 );
@@ -289,7 +308,7 @@ fn fleet_16(trials: usize, _pin: PinPolicy) -> ScenarioReport {
     time_scenario("fleet_16", trials, || counted_run(&topo, tpv_core::collect::NullCollector))
 }
 
-fn diurnal_8(trials: usize, _pin: PinPolicy) -> ScenarioReport {
+fn diurnal_8(trials: usize, pin: PinPolicy) -> ScenarioReport {
     let service = memcached();
     let server = MachineConfig::server_baseline();
     let duration = SimDuration::from_ms(60);
@@ -306,8 +325,13 @@ fn diurnal_8(trials: usize, _pin: PinPolicy) -> ScenarioReport {
     .into_iter()
     .map(|n| n.with_dynamics(dynamics.clone()))
     .collect();
+    // `--shards K` (K > 1) fans the same phased fleet out over a
+    // uniform K-shard tier, timing the canonical-order per-phase merge
+    // path instead of the single-stream kernel.
+    let shards = DIURNAL_SHARDS.load(std::sync::atomic::Ordering::Relaxed);
+    let tier = (shards > 1).then(|| ShardSpec::uniform(server, shards));
     let topo = TopologySpec {
-        shards: None,
+        shards: tier.as_ref(),
         service: &service,
         server: &server,
         nodes: &nodes,
@@ -315,13 +339,21 @@ fn diurnal_8(trials: usize, _pin: PinPolicy) -> ScenarioReport {
         warmup: SimDuration::from_ms(6),
         cohorts: &[],
     };
+    let window = (SimTime::ZERO + topo.warmup, SimTime::ZERO + topo.duration);
     time_scenario("diurnal_8", trials, || {
-        let phases = PhaseCollector::new(
-            topo.merged_schedule(),
-            SimTime::ZERO + topo.warmup,
-            SimTime::ZERO + topo.duration,
-        );
-        counted_run(&topo, phases)
+        if shards > 1 {
+            let schedule = topo.merged_schedule();
+            let (result, _per_shard, collector) =
+                run_sharded_collected_with(&topo, SEED, shard_workers(), pin, |shard, shard_key| {
+                    (
+                        EventCountCollector::new(),
+                        PhaseCollector::for_partition(schedule.clone(), window.0, window.1, shard_key, shard),
+                    )
+                });
+            (collector.0.events(), result.samples)
+        } else {
+            counted_run(&topo, PhaseCollector::new(topo.merged_schedule(), window.0, window.1))
+        }
     })
 }
 
@@ -400,7 +432,7 @@ fn fleet_256(trials: usize, pin: PinPolicy) -> ScenarioReport {
     }
     let probe = |workers: usize, pin: PinPolicy| {
         let (result, _, counter) =
-            run_sharded_collected_with(&topo, SEED, workers, pin, |_| EventCountCollector::new());
+            run_sharded_collected_with(&topo, SEED, workers, pin, |_, _| EventCountCollector::new());
         (counter.events(), result.samples)
     };
     let parallel = time_scenario("fleet_256", trials, || probe(workers, pin));
@@ -449,7 +481,7 @@ fn fleet_1m(trials: usize, pin: PinPolicy) -> ScenarioReport {
     // the lowering is tracked-then-pooled per cohort, 3 nodes each.
     let cohort_of: Vec<Option<usize>> = (0..48).map(|i| Some(i / 3)).collect();
     let probe = |workers: usize, pin: PinPolicy| {
-        let (result, _, (counter, _)) = run_sharded_collected_with(&topo, SEED, workers, pin, |_| {
+        let (result, _, (counter, _)) = run_sharded_collected_with(&topo, SEED, workers, pin, |_, _| {
             (EventCountCollector::new(), PerCohortCollector::new(cohort_of.clone(), 16))
         });
         (counter.events(), result.samples)
@@ -495,6 +527,10 @@ fn main() -> ExitCode {
         }
     }
     let pin = if opts.pin { PinPolicy::RoundRobin } else { PinPolicy::Off };
+    DIURNAL_SHARDS.store(opts.shards, std::sync::atomic::Ordering::Relaxed);
+    if opts.shards > 1 {
+        println!("diurnal_8 fans out over a uniform {}-shard tier (--shards)\n", opts.shards);
+    }
     // Where the kernel supports it, reset the VmHWM high-water mark
     // before each scenario so peak_rss_kb reads that scenario's *own*
     // peak instead of the process-lifetime maximum (under which an

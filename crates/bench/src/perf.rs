@@ -241,6 +241,13 @@ pub fn iqr_filter(samples: &[f64]) -> Vec<f64> {
     let q1 = tpv_stats::desc::percentile(samples, 25.0);
     let q3 = tpv_stats::desc::percentile(samples, 75.0);
     let iqr = q3 - q1;
+    // A quantized timer can collapse the quartiles (q1 == q3): the
+    // fences then degenerate to a single point and trials one ulp off
+    // the mode — legitimate measurements — get fenced away. Zero spread
+    // means there is nothing to reject.
+    if iqr <= 0.0 {
+        return samples.to_vec();
+    }
     let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
     let kept: Vec<f64> = samples.iter().copied().filter(|&v| v >= lo && v <= hi).collect();
     // Degenerate fences (all-equal quartiles with NaN noise) must not
@@ -957,6 +964,18 @@ mod tests {
         assert_eq!(iqr_filter(&[1.0, 500.0, 2.0]), vec![1.0, 500.0, 2.0]);
         // An identical cluster never filters itself away.
         assert_eq!(iqr_filter(&[7.0; 6]).len(), 6);
+    }
+
+    #[test]
+    fn iqr_filter_keeps_ulp_stragglers_under_zero_spread() {
+        // A quantized timer wall puts both quartiles on the same value;
+        // the old point-fences rejected trials one ulp off the mode.
+        let above = f64::from_bits(7.0f64.to_bits() + 1);
+        let below = f64::from_bits(7.0f64.to_bits() - 1);
+        let samples = [7.0, 7.0, 7.0, 7.0, above, below];
+        assert_eq!(iqr_filter(&samples), samples.to_vec(), "zero IQR must keep every sample");
+        // Sanity: a genuinely wide spread still fences.
+        assert_eq!(iqr_filter(&[7.0, 7.0, 7.0, 7.0, 7.1, 700.0]).len(), 5);
     }
 
     #[test]

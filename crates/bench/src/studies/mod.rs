@@ -10,6 +10,7 @@ pub(crate) mod ext_diurnal_fleet;
 pub(crate) mod ext_fleet_scaling;
 pub(crate) mod ext_million_fleet;
 pub(crate) mod ext_mixed_fleet;
+pub(crate) mod ext_phased_shards;
 pub(crate) mod ext_sharded_fleet;
 pub(crate) mod ext_space_exploration;
 pub(crate) mod ext_turbo_decay;

@@ -92,17 +92,21 @@ impl StudyCtx {
     }
 
     /// The phased counterpart of [`StudyCtx::run_fleet_cells`]: every
-    /// topology cell executes as a [`tpv_core::runtime::run_phased`] job,
-    /// so each run carries pooled per-phase statistics next to its fleet
-    /// result — what the time-varying studies (`ext_diurnal_fleet`,
-    /// `ext_turbo_decay`) render.
+    /// topology cell executes as a
+    /// [`tpv_core::runtime::run_phased_sharded`] job, so each run carries
+    /// pooled per-phase statistics and the per-shard breakdown next to
+    /// its fleet result — what the time-varying studies
+    /// (`ext_diurnal_fleet`, `ext_turbo_decay`, `ext_phased_shards`)
+    /// render. Multi-shard tiers run on the work-stealing pool with
+    /// canonical-order per-phase merges, so results are bit-identical at
+    /// any worker split.
     ///
     /// # Panics
     ///
     /// Panics with the cell's [`tpv_core::topology::TopologyError`] if a
-    /// topology fails phased validation — `all_experiments` isolates
-    /// study panics, so a misconfigured study reports its typed error
-    /// without aborting the rest of the suite.
+    /// topology fails validation — `all_experiments` isolates study
+    /// panics, so a misconfigured study reports its typed error without
+    /// aborting the rest of the suite.
     pub fn run_phased_cells(
         &self,
         topos: &[TopologySpec<'_>],
@@ -282,6 +286,12 @@ pub fn registry() -> Vec<Study> {
             run: studies::ext_sharded_fleet::run,
         },
         Study {
+            name: "ext_phased_shards",
+            title: "Extension: phased × sharded — diurnal swing + mid-run decay over an 8-shard tier",
+            kind: StudyKind::Extension,
+            run: studies::ext_phased_shards::run,
+        },
+        Study {
             name: "ext_million_fleet",
             title:
                 "Extension: one million cohort-compressed clients — LP-class p99 spread at population scale",
@@ -341,6 +351,7 @@ mod tests {
             "ext_fleet_scaling",
             "ext_sharded_fleet",
             "ext_million_fleet",
+            "ext_phased_shards",
         ] {
             assert!(
                 find(required).is_some(),

@@ -439,12 +439,30 @@ pub struct PhaseStats {
 /// Attribution is by send stamp, not completion: a request belongs to the
 /// regime that produced it, even if its response lands after the next
 /// boundary.
+///
+/// Sharded runs give every shard its own collector (built with
+/// [`PhaseCollector::for_partition`], carrying the shard's canonical
+/// content key) and fold them through [`MergeCollector`]. The merge does
+/// **not** accumulate float state in fold order: absorbed partitions are
+/// buffered and [`PhaseCollector::into_stats`] combines them in canonical
+/// `(shard_key, shard_index)` order — the same enumeration-insensitivity
+/// argument the aggregate's `finish_run` merge rests on — so the
+/// per-phase Welford state (mean/CoV) is bit-identical whatever the
+/// shard enumeration, worker count or steal schedule.
 #[derive(Debug)]
 pub struct PhaseCollector {
     schedule: PhaseSchedule,
     window_start: SimTime,
     window_end: SimTime,
     hists: Vec<LatencyHistogram>,
+    /// Canonical merge rank of this collector's partition:
+    /// `(shard content key, shard declaration index)` — the tiebreak
+    /// mirrors the aggregate merge in `finish_run`. `(0, 0)` for the
+    /// unsharded path.
+    rank: (u64, usize),
+    /// Partitions absorbed by [`MergeCollector::merge`], awaiting the
+    /// canonical-order fold in [`PhaseCollector::into_stats`].
+    absorbed: Vec<((u64, usize), Vec<LatencyHistogram>)>,
 }
 
 impl PhaseCollector {
@@ -455,6 +473,24 @@ impl PhaseCollector {
     ///
     /// Panics unless the window is non-empty.
     pub fn new(schedule: PhaseSchedule, window_start: SimTime, window_end: SimTime) -> Self {
+        PhaseCollector::for_partition(schedule, window_start, window_end, 0, 0)
+    }
+
+    /// A per-shard collector for the partition with canonical content
+    /// key `shard_key` and declaration index `shard` — what the sharded
+    /// kernel hands each shard so merged per-phase stats fold in
+    /// canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the window is non-empty.
+    pub fn for_partition(
+        schedule: PhaseSchedule,
+        window_start: SimTime,
+        window_end: SimTime,
+        shard_key: u64,
+        shard: usize,
+    ) -> Self {
         assert!(window_start < window_end, "empty measurement window");
         let phases = schedule.phase_count();
         PhaseCollector {
@@ -462,12 +498,32 @@ impl PhaseCollector {
             window_start,
             window_end,
             hists: (0..phases).map(|_| LatencyHistogram::new()).collect(),
+            rank: (shard_key, shard),
+            absorbed: Vec::new(),
         }
     }
 
     /// Per-phase statistics for every phase overlapping the window, in
     /// phase order.
+    ///
+    /// Any partitions absorbed through [`MergeCollector::merge`] are
+    /// folded here, in canonical `(shard_key, shard_index)` order; with
+    /// none absorbed (the unsharded and K=1 paths) the fold merges one
+    /// partition into empty histograms, which is bit-exact.
     pub fn into_stats(self) -> Vec<PhaseStats> {
+        let mut parts: Vec<((u64, usize), Vec<LatencyHistogram>)> =
+            Vec::with_capacity(1 + self.absorbed.len());
+        parts.push((self.rank, self.hists));
+        parts.extend(self.absorbed);
+        parts.sort_by_key(|&(rank, _)| rank);
+        let mut hists: Vec<LatencyHistogram> =
+            (0..self.schedule.phase_count()).map(|_| LatencyHistogram::new()).collect();
+        for (_, part) in &parts {
+            assert_eq!(part.len(), hists.len(), "merged phase collectors cover different schedules");
+            for (acc, h) in hists.iter_mut().zip(part) {
+                acc.merge(h);
+            }
+        }
         (0..self.schedule.phase_count())
             .filter_map(|p| {
                 let start = self.schedule.phase_start(p).max(self.window_start);
@@ -475,7 +531,7 @@ impl PhaseCollector {
                 if start >= end {
                     return None;
                 }
-                let h = &self.hists[p];
+                let h = &hists[p];
                 let mean = h.mean();
                 let cov =
                     if h.count() == 0 || mean.is_zero() { 0.0 } else { h.std_dev().as_us() / mean.as_us() };
@@ -499,6 +555,20 @@ impl PhaseCollector {
 impl Collector for PhaseCollector {
     fn on_latency(&mut self, _node: usize, stamp: SimTime, measured: SimDuration) {
         self.hists[self.schedule.phase_at(stamp)].record(measured);
+    }
+}
+
+impl MergeCollector for PhaseCollector {
+    /// Buffers `other`'s per-phase histograms (and anything it absorbed
+    /// in turn) under its canonical rank. The float-sensitive fold is
+    /// deferred to [`PhaseCollector::into_stats`], which sorts by
+    /// `(shard_key, shard_index)` first — so the merged per-phase stats
+    /// are independent of fold order, and therefore of shard
+    /// enumeration, unlike an eager in-order histogram merge.
+    fn merge(&mut self, other: Self) {
+        debug_assert_eq!(self.schedule, other.schedule, "merged phase collectors follow one schedule");
+        self.absorbed.push((other.rank, other.hists));
+        self.absorbed.extend(other.absorbed);
     }
 }
 

@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex};
 
 use tpv_sim::SimRng;
 
-use crate::runtime::{run_once, run_phased, run_topology, PhasedFleetResult, RunResult, RunSpec};
+use crate::runtime::{run_once, run_topology, PhasedFleetResult, RunResult, RunSpec};
 use crate::topology::{FleetResult, TopologyError, TopologySpec};
 
 /// One schedulable unit of work: a single seeded run of one cell.
@@ -379,18 +379,23 @@ impl Engine {
     }
 
     /// Executes every job of `plan` as a phased fleet run
-    /// ([`crate::runtime::run_phased`]): the fleet result plus pooled
-    /// per-phase statistics over the topology's merged schedule.
+    /// ([`crate::runtime::run_phased_sharded`]): the fleet result plus
+    /// the per-shard breakdown and pooled per-phase statistics over the
+    /// topology's merged schedule.
     ///
-    /// Like [`Engine::execute_topology`], phased jobs bypass the
-    /// [`RunCache`]; determinism is unchanged — seeds travel with the
-    /// jobs.
+    /// The worker budget splits like [`Engine::execute_sharded`]: the
+    /// job pool takes as many workers as it has jobs, and the remainder
+    /// parallelizes shards inside each run. Per-phase merges happen in
+    /// canonical `(shard_key, shard_index)` order, so results are
+    /// bit-identical at any split. Like [`Engine::execute_topology`],
+    /// phased jobs bypass the [`RunCache`]; determinism is unchanged —
+    /// seeds travel with the jobs.
     ///
     /// # Errors
     ///
     /// Every cell is validated *before* any job executes; a misconfigured
-    /// cell (e.g. a multi-shard tier, which phased runs do not support)
-    /// returns its [`TopologyError`] instead of aborting mid-plan.
+    /// cell (e.g. a phased rate plan with a NaN multiplier) returns its
+    /// [`TopologyError`] instead of aborting mid-plan.
     pub fn execute_phased<'s, F>(
         &self,
         plan: &JobPlan,
@@ -400,10 +405,13 @@ impl Engine {
         F: Fn(usize) -> TopologySpec<'s> + Sync,
     {
         for cell in 0..plan.cell_count() {
-            spec_of(cell).validate_phased()?;
+            spec_of(cell).validate()?;
         }
+        let outer = self.effective_workers(plan.jobs().len());
+        let intra = (self.requested_workers() / outer.max(1)).max(1);
         Ok(self.execute_jobs(plan, |job| {
-            run_phased(&spec_of(job.cell), job.seed).expect("cell validated before execution")
+            crate::runtime::run_phased_sharded_with(&spec_of(job.cell), job.seed, intra, self.pin)
+                .expect("cell validated before execution")
         }))
     }
 

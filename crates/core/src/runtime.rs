@@ -439,13 +439,17 @@ fn node_results(layout: &FleetLayout<'_>, collector: PerNodeCollector) -> Vec<No
         .collect()
 }
 
-/// The measurements of one phased fleet run: the whole-run fleet view
-/// plus the pooled per-phase latency regimes.
+/// The measurements of one phased fleet run: the whole-run fleet view,
+/// the per-shard breakdown and the pooled per-phase latency regimes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhasedFleetResult {
     /// Whole-run aggregate and per-node breakdowns (identical in shape
     /// to [`run_topology`]'s result).
     pub fleet: FleetResult,
+    /// Whole-run per-shard breakdown in shard declaration order — one
+    /// entry covering the whole fleet for a single-tier topology
+    /// (identical in shape to [`run_topology_sharded`]'s breakdown).
+    pub shards: Vec<ShardResult>,
     /// Pooled per-phase statistics over the topology's merged schedule
     /// (one all-covering phase for a fully static topology), restricted
     /// to phases overlapping the measurement window.
@@ -467,37 +471,88 @@ impl PhasedFleetResult {
 /// load is visible as a regime change between consecutive
 /// [`PhaseStats`].
 ///
+/// Multi-shard (and cohorted) topologies are supported: the run executes
+/// through the same partitioned kernel as [`run_topology_sharded`], and
+/// per-phase histogram state merges across shards in canonical
+/// `(shard_key, shard_index)` order — see [`PhaseCollector`] — so the
+/// per-phase stats share the aggregate's shard-enumeration-invariance
+/// contract. This serial entry point equals
+/// [`run_phased_sharded`] at any worker count bit for bit.
+///
 /// The whole-run `fleet` half is produced by the same kernel pass, so it
-/// matches [`run_topology`]'s output bit for bit.
+/// matches [`run_topology`]'s (and [`run_topology_sharded`]'s) output
+/// bit for bit.
 ///
 /// # Errors
 ///
-/// Returns the [`TopologyError`] from
-/// [`TopologySpec::validate_phased`] on a structurally invalid spec —
-/// including a multi-shard tier: the pooled per-phase statistics
-/// accumulate float state in shard feed order, which would make them
-/// sensitive to shard enumeration — merge per-partition phase
-/// histograms in canonical key order before lifting this restriction.
+/// Returns the [`TopologyError`] from [`TopologySpec::validate`] on a
+/// structurally invalid spec.
 ///
 /// # Panics
 ///
 /// Panics on malformed hand-assembled plans, as
 /// [`TopologySpec::validate`] documents.
 pub fn run_phased(topo: &TopologySpec<'_>, seed: u64) -> Result<PhasedFleetResult, TopologyError> {
-    topo.validate_phased()?;
+    run_phased_sharded(topo, seed, 1)
+}
+
+/// [`run_phased`] on up to `workers` threads: phased multi-shard
+/// topologies ride the same work-stealing shard pool as
+/// [`run_topology_sharded`]. Same determinism contract — results are
+/// bit-identical whatever `workers`, the steal schedule or the shard
+/// enumeration order.
+///
+/// # Errors
+///
+/// Returns the [`TopologyError`] from [`TopologySpec::validate`] on a
+/// structurally invalid spec.
+///
+/// # Panics
+///
+/// Panics on malformed hand-assembled plans, as
+/// [`TopologySpec::validate`] documents.
+pub fn run_phased_sharded(
+    topo: &TopologySpec<'_>,
+    seed: u64,
+    workers: usize,
+) -> Result<PhasedFleetResult, TopologyError> {
+    run_phased_sharded_with(topo, seed, workers, crate::pin::PinPolicy::Off)
+}
+
+/// [`run_phased_sharded`] with an explicit worker
+/// [`PinPolicy`](crate::pin::PinPolicy) — pinning remains a throughput
+/// knob, never a results knob.
+///
+/// # Errors
+///
+/// Returns the [`TopologyError`] from [`TopologySpec::validate`] on a
+/// structurally invalid spec.
+///
+/// # Panics
+///
+/// Panics on malformed hand-assembled plans, as
+/// [`TopologySpec::validate`] documents.
+pub fn run_phased_sharded_with(
+    topo: &TopologySpec<'_>,
+    seed: u64,
+    workers: usize,
+    pin: crate::pin::PinPolicy,
+) -> Result<PhasedFleetResult, TopologyError> {
+    topo.validate()?;
     let layout = topo.layout();
-    let mut collector = (
-        PerNodeCollector::new(layout.len()),
-        PhaseCollector::new(
-            topo.merged_schedule(),
-            SimTime::ZERO + topo.warmup,
-            SimTime::ZERO + topo.duration,
-        ),
-    );
-    let aggregate = run_collected(topo, seed, &mut collector);
-    let (per_node, per_phase) = collector;
+    let n = layout.len();
+    let schedule = topo.merged_schedule();
+    let window = (SimTime::ZERO + topo.warmup, SimTime::ZERO + topo.duration);
+    let (aggregate, shards, (per_node, per_phase)) =
+        run_sharded_collected_with(topo, seed, workers, pin, |shard, shard_key| {
+            (
+                PerNodeCollector::new(n),
+                PhaseCollector::for_partition(schedule.clone(), window.0, window.1, shard_key, shard),
+            )
+        });
     Ok(PhasedFleetResult {
         fleet: FleetResult { aggregate, nodes: node_results(&layout, per_node) },
+        shards,
         phases: per_phase.into_stats(),
     })
 }
@@ -1013,7 +1068,7 @@ pub fn run_topology_sharded_with(
     let layout = topo.layout();
     let n = layout.len();
     let (aggregate, shards, collector) =
-        run_sharded_collected_with(topo, seed, workers, pin, |_| PerNodeCollector::new(n));
+        run_sharded_collected_with(topo, seed, workers, pin, |_, _| PerNodeCollector::new(n));
     ShardedFleetResult { fleet: FleetResult { aggregate, nodes: node_results(&layout, collector) }, shards }
 }
 
@@ -1038,7 +1093,7 @@ pub fn run_cohorted(topo: &TopologySpec<'_>, seed: u64, workers: usize) -> Cohor
     let n = layout.len();
     let cohort_of = layout.cohort_map();
     let n_cohorts = topo.cohorts.len();
-    let (aggregate, shards, (per_node, per_cohort)) = run_sharded_collected(topo, seed, workers, |_| {
+    let (aggregate, shards, (per_node, per_cohort)) = run_sharded_collected(topo, seed, workers, |_, _| {
         (PerNodeCollector::new(n), PerCohortCollector::new(cohort_of.clone(), n_cohorts))
     });
     let measured = topo.duration - topo.warmup;
@@ -1062,10 +1117,13 @@ pub fn run_cohorted(topo: &TopologySpec<'_>, seed: u64, workers: usize) -> Cohor
 
 /// The collector-generic parallel sharded kernel behind
 /// [`run_topology_sharded`]: every shard runs with its own collector
-/// (`make(shard)`), and the per-shard collectors are folded in stable
-/// shard order through [`MergeCollector::merge`]. Returns the aggregate
-/// result, the per-shard breakdowns (shard declaration order) and the
-/// merged collector.
+/// (`make(shard, shard_key)` — the declaration index and the shard's
+/// canonical content key, so collectors that fold float state can defer
+/// to canonical `(key, index)` order like [`PhaseCollector`] does), and
+/// the per-shard collectors are folded in stable shard order through
+/// [`MergeCollector::merge`]. Returns the aggregate result, the
+/// per-shard breakdowns (shard declaration order) and the merged
+/// collector.
 ///
 /// The aggregate is bit-identical to feeding one collector through
 /// [`run_collected`] on the same topology; the merged collector matches
@@ -1083,7 +1141,7 @@ pub fn run_sharded_collected<C, F>(
 ) -> (RunResult, Vec<ShardResult>, C)
 where
     C: MergeCollector + Send,
-    F: Fn(usize) -> C + Sync,
+    F: Fn(usize, u64) -> C + Sync,
 {
     run_sharded_collected_with(topo, seed, workers, crate::pin::PinPolicy::Off, make)
 }
@@ -1107,7 +1165,7 @@ pub fn run_sharded_collected_with<C, F>(
 ) -> (RunResult, Vec<ShardResult>, C)
 where
     C: MergeCollector + Send,
-    F: Fn(usize) -> C + Sync,
+    F: Fn(usize, u64) -> C + Sync,
 {
     validate_topology(topo);
     let layout = topo.layout();
@@ -1118,7 +1176,7 @@ where
         plans
             .iter()
             .map(|plan| {
-                let mut collector = make(plan.shard);
+                let mut collector = make(plan.shard, plan.key);
                 let outcome = run_partition(topo, plan, &master, &mut collector);
                 (outcome, collector)
             })
@@ -1181,7 +1239,7 @@ where
                         }
                         let Some(s) = task else { break };
                         let plan = &plans[s];
-                        let mut collector = make(plan.shard);
+                        let mut collector = make(plan.shard, plan.key);
                         let outcome = run_partition(topo, plan, master, &mut collector);
                         out.lock().expect("shard results poisoned").push((s, outcome, collector));
                     }

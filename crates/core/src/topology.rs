@@ -309,6 +309,8 @@ pub enum TopologyError {
     TooManyPhases {
         /// The offending node's label.
         label: String,
+        /// Its schedule's phase count.
+        phases: usize,
     },
     /// A phased rate plan on a closed-loop generator: closed loops pace
     /// by think time, so the plan could not change the offered load it
@@ -317,8 +319,26 @@ pub enum TopologyError {
         /// The offending node's label.
         label: String,
     },
+    /// A phased rate multiplier that is not finite and positive — NaN
+    /// or an infinity would poison [`TopologySpec::offered_qps`] (and
+    /// every mean-multiplier fold) silently, a non-positive one models
+    /// no load. Constructors reject these, but a deserialized or
+    /// hand-assembled plan bypasses them.
+    NonFinitePhaseRate {
+        /// The offending node's label.
+        label: String,
+        /// The phase whose multiplier is invalid.
+        phase: usize,
+        /// The rejected multiplier.
+        multiplier: f64,
+    },
     /// `warmup >= duration` leaves no measurement window.
-    EmptyWindow,
+    EmptyWindow {
+        /// The configured warmup.
+        warmup: SimDuration,
+        /// The configured run duration (which the warmup must undercut).
+        duration: SimDuration,
+    },
     /// A cohort with `population == 0`.
     EmptyCohort {
         /// The cohort template's label.
@@ -340,8 +360,6 @@ pub enum TopologyError {
         /// The cohort template's label.
         label: String,
     },
-    /// [`crate::runtime::run_phased`] on a multi-shard tier.
-    PhasedMultiShard,
 }
 
 impl fmt::Display for TopologyError {
@@ -354,14 +372,21 @@ impl fmt::Display for TopologyError {
             TopologyError::NonPositiveQps { label, qps } => {
                 write!(f, "node '{label}': offered load must be positive, got {qps}")
             }
-            TopologyError::TooManyPhases { label } => {
-                write!(f, "node '{label}' exceeds {} phases", u16::MAX)
+            TopologyError::TooManyPhases { label, phases } => {
+                write!(f, "node '{label}': {phases} phases exceeds the kernel's limit of {}", u16::MAX)
             }
             TopologyError::PhasedRateClosedLoop { label } => write!(
                 f,
                 "node '{label}': phased rates require an open-loop generator (closed loops pace by think time)"
             ),
-            TopologyError::EmptyWindow => write!(f, "warmup must be shorter than the run"),
+            TopologyError::NonFinitePhaseRate { label, phase, multiplier } => write!(
+                f,
+                "node '{label}': phase {phase} rate multiplier must be finite and positive, got {multiplier}"
+            ),
+            TopologyError::EmptyWindow { warmup, duration } => write!(
+                f,
+                "warmup must be shorter than the run, got warmup {warmup} >= duration {duration}"
+            ),
             TopologyError::EmptyCohort { label } => {
                 write!(f, "cohort '{label}' needs a population of at least one")
             }
@@ -372,11 +397,6 @@ impl fmt::Display for TopologyError {
                 f,
                 "cohort '{label}': pooled members require an open-loop generator (closed loops pace by \
                  think time, which superposed arrivals cannot model); track every member instead"
-            ),
-            TopologyError::PhasedMultiShard => write!(
-                f,
-                "run_phased does not support multi-shard tiers (per-phase stats would not be \
-                 shard-enumeration invariant); use run_topology_sharded for sharded runs"
             ),
         }
     }
@@ -734,7 +754,10 @@ impl TopologySpec<'_> {
             if let Some(dy) = &node.dynamics {
                 dy.validate();
                 if dy.schedule.phase_count() > u16::MAX as usize {
-                    return Err(TopologyError::TooManyPhases { label: node.label.clone() });
+                    return Err(TopologyError::TooManyPhases {
+                        label: node.label.clone(),
+                        phases: dy.schedule.phase_count(),
+                    });
                 }
                 // Closed loops pace by think time, not the arrival
                 // process a rate plan rebuilds — a phased rate there
@@ -743,25 +766,29 @@ impl TopologySpec<'_> {
                 if dy.rate.is_some() && node.generator.loop_mode != LoopMode::Open {
                     return Err(TopologyError::PhasedRateClosedLoop { label: node.label.clone() });
                 }
+                // `PhasedRate::new` rejects these, but a deserialized or
+                // hand-assembled plan bypasses it — and one NaN
+                // multiplier poisons `offered_qps` and every
+                // mean-multiplier fold silently.
+                if let Some(rate) = &dy.rate {
+                    for phase in 0..rate.schedule().phase_count() {
+                        let multiplier = rate.multiplier(phase);
+                        if !multiplier.is_finite() || multiplier <= 0.0 {
+                            return Err(TopologyError::NonFinitePhaseRate {
+                                label: node.label.clone(),
+                                phase,
+                                multiplier,
+                            });
+                        }
+                    }
+                }
             }
         }
         if self.warmup >= self.duration {
-            return Err(TopologyError::EmptyWindow);
+            return Err(TopologyError::EmptyWindow { warmup: self.warmup, duration: self.duration });
         }
         if let Some(shards) = self.shards {
             shards.validate(layout.len());
-        }
-        Ok(())
-    }
-
-    /// [`TopologySpec::validate`] plus the phased-run constraint:
-    /// per-phase pooled stats accumulate float state in shard feed
-    /// order, so [`crate::runtime::run_phased`] only supports
-    /// single-shard tiers.
-    pub fn validate_phased(&self) -> Result<(), TopologyError> {
-        self.validate()?;
-        if self.shard_count() > 1 {
-            return Err(TopologyError::PhasedMultiShard);
         }
         Ok(())
     }
@@ -1280,18 +1307,16 @@ mod tests {
         let nodes = [node("n", 100.0)];
         let mut bad_window = cohorted(&service, &server, &nodes, &[]);
         bad_window.warmup = bad_window.duration;
-        assert_eq!(bad_window.validate(), Err(TopologyError::EmptyWindow));
+        assert_eq!(
+            bad_window.validate(),
+            Err(TopologyError::EmptyWindow { warmup: bad_window.warmup, duration: bad_window.duration })
+        );
         assert!(bad_window.validate().unwrap_err().to_string().contains("warmup must be shorter"));
 
+        // Multi-shard tiers are plain topologies now — phased or not.
         let shards = ShardSpec::uniform(server, 2);
         let mut multi = cohorted(&service, &server, &nodes, &[]);
         multi.shards = Some(&shards);
         assert!(multi.validate().is_ok());
-        assert_eq!(multi.validate_phased(), Err(TopologyError::PhasedMultiShard));
-        assert!(multi
-            .validate_phased()
-            .unwrap_err()
-            .to_string()
-            .contains("does not support multi-shard tiers"));
     }
 }

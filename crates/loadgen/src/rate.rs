@@ -39,6 +39,25 @@ impl PhasedRate {
         PhasedRate { schedule, multipliers }
     }
 
+    /// Like [`PhasedRate::new`] but without the finite-and-positive
+    /// multiplier check — the shape a plan deserialized from external
+    /// config arrives in, where nothing has audited the numbers yet.
+    /// [`TopologySpec::validate`] backstops this seam with
+    /// `TopologyError::NonFinitePhaseRate`, so callers building specs
+    /// from untrusted data should run plans through a spec rather than
+    /// trusting them directly.
+    ///
+    /// [`TopologySpec::validate`]: https://docs.rs/tpv-core
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `multipliers.len() == schedule.phase_count()`; the
+    /// phase↔multiplier pairing is structural, not a data question.
+    pub fn unchecked(schedule: PhaseSchedule, multipliers: Vec<f64>) -> Self {
+        assert_eq!(multipliers.len(), schedule.phase_count(), "phased rate needs one multiplier per phase");
+        PhasedRate { schedule, multipliers }
+    }
+
     /// A stepped approximation of one diurnal cycle over `period`:
     /// `steps` equal phases whose multipliers follow
     /// `1 + amplitude * sin(2π · midpoint)`, so the run sweeps through a

@@ -8,6 +8,9 @@
 //!
 //! Histograms from different agent machines [`merge`](LatencyHistogram::merge)
 //! losslessly, mirroring the paper's master/agent mutilate deployment.
+//! Bucket counts are integers and merge exactly in any order; the
+//! embedded [`Welford`] moments do **not** — see its
+//! `merge` docs for the canonical-order discipline parallel callers owe.
 
 use crate::{SimDuration, Welford};
 

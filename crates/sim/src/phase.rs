@@ -13,6 +13,14 @@
 //! boundaries is the degenerate single phase covering the whole run —
 //! the static world every pre-phase experiment lives in.
 //!
+//! A schedule says nothing about *where* a run executes: because a
+//! phase is just a time interval, per-phase aggregation composes with
+//! partitioned (sharded) execution — each partition buckets its own
+//! samples by the shared schedule and the partials merge afterwards.
+//! The schedule side is exact (boundary instants are integers); only
+//! the float moments inside each phase bucket need the canonical merge
+//! order documented on [`Welford::merge`](crate::Welford::merge).
+//!
 //! # Example
 //!
 //! ```

@@ -72,6 +72,16 @@ impl Welford {
     }
 
     /// Merges another accumulator (Chan et al. parallel combination).
+    ///
+    /// The combination is **float-order-sensitive**: `a.merge(b)` and
+    /// `b.merge(a)` can differ in the last ulp, so any caller that
+    /// promises bit-identical results across thread schedules (the
+    /// sharded and phased×sharded kernels in `tpv-core`) must fold
+    /// partitions in a canonical order. Two facts make that cheap:
+    /// merging `other` into an **empty** accumulator is an exact copy
+    /// (no arithmetic), and merging an empty `other` is a no-op — so
+    /// "buffer partials, sort by a canonical rank, replay into fresh
+    /// state" reproduces the single-partition result bit for bit.
     pub fn merge(&mut self, other: &Welford) {
         if other.count == 0 {
             return;

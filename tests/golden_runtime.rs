@@ -12,7 +12,9 @@
 //! `cargo test --test golden_runtime -- --ignored --nocapture`
 //! and paste the printed rows over `GOLDEN`.
 
-use tpv_core::runtime::{run_cohorted, run_once, run_phased, run_topology_sharded, RunResult, RunSpec};
+use tpv_core::runtime::{
+    run_cohorted, run_once, run_phased, run_phased_sharded, run_topology_sharded, RunResult, RunSpec,
+};
 use tpv_core::topology::{ClientNode, CohortSpec, NodeDynamics, ShardPolicy, ShardSpec, TopologySpec};
 use tpv_hw::{CStatePolicy, MachineConfig};
 use tpv_loadgen::{GeneratorSpec, LoopMode, PointOfMeasurement, TimingMode};
@@ -326,6 +328,79 @@ fn observe_sharded(shards: &ShardSpec, nodes: &[ClientNode], seed: u64) -> ([u64
     (row, shards_out)
 }
 
+/// One pinned phased×sharded case: aggregate row in `GOLDEN` format
+/// plus per-shard and per-phase `(samples, p99 ns)` pairs — a drift in
+/// the shard partitioning, the dynamic kernel, or the canonical
+/// `(shard_key, shard_index)` per-phase merge order trips the pin.
+/// Observed through the *parallel* path, and re-checked at 1/2/3/4/8
+/// workers by the pin test.
+struct PhasedShardedGolden {
+    name: &'static str,
+    seed: u64,
+    row: [u64; 16],
+    shards: &'static [[u64; 2]],
+    phases: &'static [[u64; 2]],
+}
+
+/// The phased×sharded spec shapes under pin: the sharded golden fleet
+/// with mid-run dynamics layered on — even nodes decay HP -> LP at the
+/// boundary, odd nodes step their offered rate — over the uniform and
+/// hot-shard tiers.
+fn phased_sharded_cases() -> Vec<(&'static str, ShardSpec, Vec<ClientNode>)> {
+    let boundary = PhaseSchedule::new(vec![SimTime::from_ms(30)]);
+    let dynamic =
+        |nodes: Vec<ClientNode>| -> Vec<ClientNode> {
+            nodes
+                .into_iter()
+                .enumerate()
+                .map(|(i, node)| {
+                    if i % 2 == 0 {
+                        node.with_dynamics(NodeDynamics::new(boundary.clone()).with_machines(vec![
+                            MachineConfig::high_performance(),
+                            MachineConfig::low_power(),
+                        ]))
+                    } else {
+                        node.with_dynamics(NodeDynamics::new(boundary.clone()).with_rates(vec![0.8, 1.6]))
+                    }
+                })
+                .collect()
+        };
+    sharded_cases()
+        .into_iter()
+        .map(|(name, shards, nodes)| {
+            let renamed = match name {
+                "memcached-sharded-rr" => "memcached-phased-sharded-rr",
+                _ => "memcached-phased-sharded-hot",
+            };
+            (renamed, shards, dynamic(nodes))
+        })
+        .collect()
+}
+
+fn observe_phased_sharded(
+    shards: &ShardSpec,
+    nodes: &[ClientNode],
+    seed: u64,
+    workers: usize,
+) -> ([u64; 16], Vec<[u64; 2]>, Vec<[u64; 2]>) {
+    let service = ServiceConfig::new(ServiceKind::Memcached(KvConfig::default()));
+    let server = MachineConfig::server_baseline();
+    let topo = TopologySpec {
+        shards: Some(shards),
+        service: &service,
+        server: &server,
+        nodes,
+        duration: SimDuration::from_ms(60),
+        warmup: SimDuration::from_ms(6),
+        cohorts: &[],
+    };
+    let run = run_phased_sharded(&topo, seed, workers).expect("valid phased sharded golden topology");
+    let row = golden_row(&run.fleet.aggregate);
+    let per_shard = run.shards.iter().map(|s| [s.result.samples, s.result.p99.as_ns()]).collect();
+    let per_phase = run.phases.iter().map(|p| [p.samples, p.p99.as_ns()]).collect();
+    (row, per_shard, per_phase)
+}
+
 /// One pinned cohorted case: aggregate row in `GOLDEN` format plus
 /// per-cohort `(samples, p99 ns)` pairs — a drift in the cohort
 /// lowering, the pooled arrival superposition or the per-cohort
@@ -420,6 +495,15 @@ fn print_goldens() {
             );
         }
     }
+    println!();
+    for (name, shards, nodes) in phased_sharded_cases() {
+        for seed in [2024u64, 7] {
+            let (row, per_shard, per_phase) = observe_phased_sharded(&shards, &nodes, seed, 3);
+            println!(
+                "    PhasedShardedGolden {{ name: \"{name}\", seed: {seed}, row: {row:?}, shards: &{per_shard:?}, phases: &{per_phase:?} }},"
+            );
+        }
+    }
 }
 
 #[rustfmt::skip]
@@ -458,6 +542,14 @@ const GOLDEN_SHARDED: &[ShardedGolden] = &[
     ShardedGolden { name: "memcached-sharded-rr", seed: 7, row: [61124, 52223, 210943, 275905, 26373, 8575, 4684696212032493492, 4684737570976825344, 4598135755496799562, 18319, 14538, 1334, 2475, 305, 4625038709249750079, 0], shards: &[[2126, 66559], [2120, 68607], [2172, 71679], [2157, 237567]] },
     ShardedGolden { name: "memcached-sharded-hot", seed: 2024, row: [64096, 52735, 221183, 343783, 31147, 8540, 4684673941831699418, 4684737570976825344, 4598028424404894093, 20093, 14550, 1161, 2479, 408, 4625059539192180168, 0], shards: &[[4242, 227327], [2206, 227327], [1036, 66559], [1056, 68607]] },
     ShardedGolden { name: "memcached-sharded-hot", seed: 7, row: [61601, 52735, 217087, 364560, 27905, 8575, 4684696212032493492, 4684737570976825344, 4598143272458414201, 18360, 14546, 1299, 2474, 322, 4625050384009145271, 0], shards: &[[4325, 192511], [2135, 241663], [1022, 67583], [1093, 66559]] },
+];
+
+#[rustfmt::skip]
+const GOLDEN_PHASED_SHARDED: &[PhasedShardedGolden] = &[
+    PhasedShardedGolden { name: "memcached-phased-sharded-rr", seed: 2024, row: [76787, 77823, 233471, 295859, 34778, 9744, 4685440036739015566, 4685409494749355122, 4602571210295980229, 34900, 11774, 3132, 4608, 530, 4621980925655107064, 0], shards: &[[2279, 233471], [2676, 67583], [2183, 225279], [2606, 243711]], phases: &[[3539, 225279], [6205, 235519]] },
+    PhasedShardedGolden { name: "memcached-phased-sharded-rr", seed: 7, row: [73447, 70655, 223231, 291616, 33458, 9711, 4685419039121124011, 4685409494749355122, 4602658467752752939, 33948, 11205, 3204, 4983, 605, 4621852327839773336, 0], shards: &[[2199, 231423], [2667, 68607], [2176, 231423], [2669, 227327]], phases: &[[3503, 204799], [6208, 229375]] },
+    PhasedShardedGolden { name: "memcached-phased-sharded-hot", seed: 2024, row: [77193, 77823, 233471, 321333, 35501, 9740, 4685437491573210529, 4685409494749355122, 4602572891684678145, 35283, 11761, 3111, 4620, 550, 4621992193155901981, 0], shards: &[[4975, 231423], [2381, 247807], [1323, 67583], [1061, 235519]], phases: &[[3540, 221183], [6200, 239615]] },
+    PhasedShardedGolden { name: "memcached-phased-sharded-hot", seed: 7, row: [73273, 70655, 225279, 363400, 33219, 9712, 4685419675412575270, 4685409494749355122, 4602673731317673419, 34553, 11217, 3150, 4993, 620, 4621838445655178980, 0], shards: &[[4921, 229375], [2367, 225279], [1327, 74751], [1097, 215039]], phases: &[[3504, 202751], [6208, 229375]] },
 ];
 
 #[rustfmt::skip]
@@ -600,6 +692,84 @@ fn sharded_runs_match_their_pins() {
     assert!(hot.shards.iter().skip(1).all(|s| s[0] < hot.shards[0][0]), "hot pin must show the load skew");
     let best_cold = hot.shards.iter().skip(1).map(|s| s[1]).min().expect("cold shards present");
     assert!(hot.shards[0][1] > 2 * best_cold, "hot-shard tail must dwarf the clean cold shards");
+}
+
+/// A single-phase schedule over a K-shard tier must be bit-identical to
+/// the static sharded kernel — the phased×sharded unification's central
+/// invariant, checked by re-running every `GOLDEN_SHARDED` row through
+/// the phased path (a static topology's merged schedule is the single
+/// all-covering phase).
+#[test]
+fn single_phase_schedule_over_a_sharded_tier_reproduces_the_sharded_goldens() {
+    let by_name = sharded_cases();
+    let service = ServiceConfig::new(ServiceKind::Memcached(KvConfig::default()));
+    let server = MachineConfig::server_baseline();
+    for g in GOLDEN_SHARDED {
+        let (_, shards, nodes) = by_name
+            .iter()
+            .find(|(n, _, _)| *n == g.name)
+            .unwrap_or_else(|| panic!("unknown sharded golden case {}", g.name));
+        let topo = TopologySpec {
+            shards: Some(shards),
+            service: &service,
+            server: &server,
+            nodes,
+            duration: SimDuration::from_ms(60),
+            warmup: SimDuration::from_ms(6),
+            cohorts: &[],
+        };
+        let run = run_phased_sharded(&topo, g.seed, 3).expect("valid phased sharded topology");
+        assert_eq!(
+            golden_row(&run.fleet.aggregate),
+            g.row,
+            "{} seed {}: the phased path drifted from the static sharded pin",
+            g.name,
+            g.seed
+        );
+        let per_shard: Vec<[u64; 2]> =
+            run.shards.iter().map(|s| [s.result.samples, s.result.p99.as_ns()]).collect();
+        assert_eq!(per_shard, g.shards, "{} seed {}: per-shard stats drifted", g.name, g.seed);
+        assert_eq!(run.phases.len(), 1, "a static topology merges to a single phase");
+        assert_eq!(run.phases[0].samples, g.row[5], "the single phase pools every sample");
+    }
+}
+
+#[test]
+fn phased_sharded_runs_match_their_pins() {
+    assert!(!GOLDEN_PHASED_SHARDED.is_empty(), "phased sharded golden table must be populated");
+    let by_name = phased_sharded_cases();
+    for g in GOLDEN_PHASED_SHARDED {
+        let (_, shards, nodes) = by_name
+            .iter()
+            .find(|(n, _, _)| *n == g.name)
+            .unwrap_or_else(|| panic!("unknown phased sharded golden case {}", g.name));
+        // The pin holds at every worker count: the canonical per-phase
+        // merge order makes the schedule presentation, not physics.
+        for workers in [1usize, 2, 3, 4, 8] {
+            let (row, per_shard, per_phase) = observe_phased_sharded(shards, nodes, g.seed, workers);
+            assert_eq!(
+                row, g.row,
+                "{} seed {}: aggregate drifted from the pin at {workers} workers",
+                g.name, g.seed
+            );
+            assert_eq!(
+                per_shard, g.shards,
+                "{} seed {}: per-shard stats drifted at {workers} workers",
+                g.name, g.seed
+            );
+            assert_eq!(
+                per_phase, g.phases,
+                "{} seed {}: per-phase stats drifted at {workers} workers",
+                g.name, g.seed
+            );
+        }
+    }
+    // The pins themselves encode the finding: half the fleet decays to
+    // LP at the boundary, so the second phase's pooled tail exceeds the
+    // first's in every pinned shape.
+    for g in GOLDEN_PHASED_SHARDED {
+        assert!(g.phases[1][1] > g.phases[0][1], "{}: decayed phase tail must exceed the first's", g.name);
+    }
 }
 
 /// A trivial all-covering phase schedule must reproduce the static

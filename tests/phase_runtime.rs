@@ -253,6 +253,58 @@ fn phased_rate_on_closed_loop_is_rejected() {
     assert!(err.to_string().contains("require an open-loop generator"), "{err}");
 }
 
+/// A rate plan carrying a non-finite or non-positive multiplier is
+/// rejected with a typed error before it can poison `offered_qps()` and
+/// every mean-multiplier fold with NaN. `PhasedRate::new` panics on
+/// these, so the hole is plans built through the unchecked
+/// (deserialization-shaped) seam.
+#[test]
+fn non_finite_phase_rates_are_rejected() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let schedule = PhaseSchedule::new(vec![SimTime::from_ms(30)]);
+    let build = |multipliers: Vec<f64>| {
+        let rate = PhasedRate::unchecked(schedule.clone(), multipliers);
+        let dynamics = NodeDynamics::new(schedule.clone()).with_rate_plan(rate);
+        [ClientNode::new(
+            "poisoned",
+            MachineConfig::high_performance(),
+            GeneratorSpec::mutilate(),
+            LinkConfig::cloudlab_lan(),
+            10_000.0,
+        )
+        .with_dynamics(dynamics)]
+    };
+
+    let nan_nodes = build(vec![1.0, f64::NAN]);
+    let err = run_phased(&topo(&service, &server, &nan_nodes), 1).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TopologyError::NonFinitePhaseRate { ref label, phase: 1, multiplier } if label == "poisoned" && multiplier.is_nan()
+        ),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("finite and positive"), "{err}");
+    assert!(err.to_string().contains("NaN"), "{err}");
+
+    let negative_nodes = build(vec![-0.5, 2.0]);
+    let err = run_phased(&topo(&service, &server, &negative_nodes), 1).unwrap_err();
+    assert_eq!(
+        err,
+        TopologyError::NonFinitePhaseRate { label: "poisoned".into(), phase: 0, multiplier: -0.5 }
+    );
+    assert!(err.to_string().contains("-0.5"), "{err}");
+
+    let inf_nodes = build(vec![1.0, f64::INFINITY]);
+    let err = run_phased(&topo(&service, &server, &inf_nodes), 1).unwrap_err();
+    assert!(matches!(err, TopologyError::NonFinitePhaseRate { phase: 1, .. }), "{err:?}");
+
+    // A well-formed plan through the same seam still validates.
+    let fine_nodes = build(vec![0.5, 2.0]);
+    assert!(run_phased(&topo(&service, &server, &fine_nodes), 1).is_ok());
+}
+
 /// The merged schedule is the union of node schedules, and per-phase
 /// stats follow it.
 #[test]

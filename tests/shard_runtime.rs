@@ -6,19 +6,22 @@
 //! values bit-for-bit (`GOLDEN_SHARDED`) and checks the degenerate K=1
 //! tier against every static golden row.
 
-use tpv_core::collect::EventCountCollector;
+use tpv_core::collect::{EventCountCollector, PhaseCollector};
 use tpv_core::engine::{fingerprint_topology, Engine, JobPlan};
 use tpv_core::runtime::{
-    run_collected, run_sharded_collected, run_topology, run_topology_sharded, run_topology_sharded_with,
+    run_collected, run_phased, run_phased_sharded, run_phased_sharded_with, run_sharded_collected,
+    run_topology, run_topology_sharded, run_topology_sharded_with,
 };
-use tpv_core::topology::{ClientNode, ShardPolicy, ShardSpec, ShardedFleetResult, TopologySpec};
+use tpv_core::topology::{
+    ClientNode, NodeDynamics, ShardPolicy, ShardSpec, ShardedFleetResult, TopologySpec,
+};
 use tpv_core::PinPolicy;
 use tpv_hw::MachineConfig;
 use tpv_loadgen::GeneratorSpec;
 use tpv_net::LinkConfig;
 use tpv_services::kv::KvConfig;
 use tpv_services::{ServiceConfig, ServiceKind};
-use tpv_sim::SimDuration;
+use tpv_sim::{PhaseSchedule, SimDuration, SimTime};
 
 fn kv_service() -> ServiceConfig {
     ServiceConfig::without_interference(ServiceKind::Memcached(KvConfig {
@@ -242,21 +245,6 @@ fn work_stealing_and_pinning_are_schedule_invariant_under_hot_shard_skew() {
 }
 
 #[test]
-fn run_phased_rejects_multi_shard_tiers() {
-    // Per-phase pooled stats accumulate float state in shard feed
-    // order, which would break shard-enumeration invariance — so the
-    // combination is rejected with a typed error instead of being
-    // subtly wrong (or aborting a whole experiment suite).
-    let service = kv_service();
-    let server = MachineConfig::server_baseline();
-    let nodes = mixed_fleet();
-    let shards = ShardSpec::uniform(server, 4);
-    let err = tpv_core::runtime::run_phased(&topo(&service, &server, &nodes, Some(&shards)), 1).unwrap_err();
-    assert_eq!(err, tpv_core::topology::TopologyError::PhasedMultiShard);
-    assert!(err.to_string().contains("does not support multi-shard tiers"), "{err}");
-}
-
-#[test]
 fn merged_event_counts_match_the_serial_collector() {
     let service = kv_service();
     let server = MachineConfig::server_baseline();
@@ -266,7 +254,7 @@ fn merged_event_counts_match_the_serial_collector() {
     let mut serial = EventCountCollector::new();
     let serial_result = run_collected(&spec, 3, &mut serial);
     let (parallel_result, shard_results, merged) =
-        run_sharded_collected(&spec, 3, 4, |_| EventCountCollector::new());
+        run_sharded_collected(&spec, 3, 4, |_, _| EventCountCollector::new());
     assert_eq!(serial_result, parallel_result);
     assert_eq!(serial.events(), merged.events(), "per-shard event counts must merge to the serial count");
     assert_eq!(shard_results.len(), 4);
@@ -292,4 +280,190 @@ fn engine_execute_sharded_is_parallelism_invariant() {
     let mut direct_sorted = direct;
     direct_sorted.sort_by_key(|&(c, r, _)| (c, r));
     assert_eq!(serial, direct_sorted, "engine jobs must equal direct sharded runs");
+}
+
+// ---------------------------------------------------------------------
+// Phased × sharded: per-phase pooled stats merge in canonical
+// `(shard_key, shard_index)` order, so the same presentation-not-physics
+// contracts hold with a phase schedule in play.
+// ---------------------------------------------------------------------
+
+/// [`mixed_fleet`] with mid-run dynamics layered on: every third node
+/// decays HP -> LP at the boundary, every `i % 3 == 1` node steps its
+/// offered rate. The merged schedule has two phases.
+fn phased_fleet() -> Vec<ClientNode> {
+    let boundary = SimTime::from_ms(20);
+    mixed_fleet()
+        .into_iter()
+        .enumerate()
+        .map(|(i, node)| match i % 3 {
+            0 => node.with_dynamics(
+                NodeDynamics::new(PhaseSchedule::new(vec![boundary]))
+                    .with_machines(vec![MachineConfig::high_performance(), MachineConfig::low_power()]),
+            ),
+            1 => node.with_dynamics(
+                NodeDynamics::new(PhaseSchedule::new(vec![boundary])).with_rates(vec![0.7, 1.4]),
+            ),
+            _ => node,
+        })
+        .collect()
+}
+
+#[test]
+fn phased_serial_and_parallel_shard_execution_are_bit_identical() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let nodes = phased_fleet();
+    let shards = ShardSpec::uniform(server, 4);
+    let spec = topo(&service, &server, &nodes, Some(&shards));
+    let serial = run_phased_sharded(&spec, 19, 1).expect("valid phased topology");
+    assert_eq!(serial.phases.len(), 2, "the merged schedule has two phases");
+    assert!(serial.phases.iter().all(|p| p.samples > 0));
+    for workers in [2, 3, 4, 8] {
+        let parallel = run_phased_sharded(&spec, 19, workers).expect("valid phased topology");
+        assert_eq!(serial, parallel, "{workers}-worker phased schedule drifted from serial");
+        let pinned = run_phased_sharded_with(&spec, 19, workers, PinPolicy::RoundRobin)
+            .expect("valid phased topology");
+        assert_eq!(serial, pinned, "{workers}-worker pinned phased schedule drifted from serial");
+    }
+    // The phased view is the sharded kernel plus a phase lens: the fleet
+    // and per-shard breakdowns must match the static sharded entry point
+    // on the same (dynamic) topology, bit for bit.
+    let static_view = run_topology_sharded(&spec, 19, 4);
+    assert_eq!(serial.fleet, static_view.fleet, "phased view must not perturb the fleet result");
+    assert_eq!(serial.shards, static_view.shards, "phased view must not perturb the shard breakdown");
+    // Phases partition the window: per-phase counts pool to the aggregate.
+    let pooled: u64 = serial.phases.iter().map(|p| p.samples).sum();
+    assert_eq!(pooled, serial.fleet.aggregate.samples, "phase buckets must partition the window");
+}
+
+#[test]
+fn phased_shard_enumeration_order_is_presentation_not_physics() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let nodes = phased_fleet();
+    // Same relabeling as the static test: swap backend enumeration and
+    // remap the explicit assignment so physics is unchanged. The
+    // per-phase pooled stats must not notice — they merge in canonical
+    // content order, not enumeration order.
+    let fast = MachineConfig::server_baseline();
+    let slow = MachineConfig::server_baseline().with_smt(true);
+    let assignment: Vec<usize> = (0..nodes.len()).map(|i| i % 2).collect();
+    let forward = ShardSpec { machines: vec![fast, slow], policy: ShardPolicy::Explicit(assignment.clone()) };
+    let swapped = ShardSpec {
+        machines: vec![slow, fast],
+        policy: ShardPolicy::Explicit(assignment.iter().map(|&s| 1 - s).collect()),
+    };
+    let a = run_phased_sharded(&topo(&service, &server, &nodes, Some(&forward)), 7, 4)
+        .expect("valid phased topology");
+    let b = run_phased_sharded(&topo(&service, &server, &nodes, Some(&swapped)), 7, 4)
+        .expect("valid phased topology");
+    assert_eq!(a.phases, b.phases, "per-phase stats differ under shard enumeration permutation");
+    assert_eq!(a.fleet.aggregate, b.fleet.aggregate);
+    for label in nodes.iter().map(|n| &n.label) {
+        assert_eq!(
+            a.fleet.node(label).unwrap().result,
+            b.fleet.node(label).unwrap().result,
+            "{label} differs under shard enumeration permutation"
+        );
+    }
+    assert_eq!(a.shards[0].result, b.shards[1].result);
+    assert_eq!(a.shards[1].result, b.shards[0].result);
+}
+
+#[test]
+fn phased_node_permutation_is_presentation_not_physics() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let base = phased_fleet();
+    let shards = ShardSpec::uniform(server, 3);
+    let assignment = shards.assign(base.len());
+    let spec_a =
+        ShardSpec { machines: shards.machines.clone(), policy: ShardPolicy::Explicit(assignment.clone()) };
+    let a = run_phased_sharded(&topo(&service, &server, &base, Some(&spec_a)), 21, 4)
+        .expect("valid phased topology");
+    let order = [5usize, 2, 7, 0, 3, 6, 1, 4];
+    let permuted: Vec<ClientNode> = order.iter().map(|&i| base[i].clone()).collect();
+    let spec_b = ShardSpec {
+        machines: shards.machines.clone(),
+        policy: ShardPolicy::Explicit(order.iter().map(|&i| assignment[i]).collect()),
+    };
+    let b = run_phased_sharded(&topo(&service, &server, &permuted, Some(&spec_b)), 21, 4)
+        .expect("valid phased topology");
+    assert_eq!(a.phases, b.phases, "per-phase stats must ignore node declaration order");
+    assert_eq!(a.fleet.aggregate, b.fleet.aggregate);
+    for label in base.iter().map(|n| &n.label) {
+        assert_eq!(
+            a.fleet.node(label).unwrap().result,
+            b.fleet.node(label).unwrap().result,
+            "{label} differs under node permutation"
+        );
+    }
+}
+
+#[test]
+fn phased_one_shard_tier_is_the_unsharded_phased_kernel() {
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let nodes = phased_fleet();
+    let unsharded = run_phased(&topo(&service, &server, &nodes, None), 5).expect("valid phased topology");
+    let one = ShardSpec::uniform(server, 1);
+    let sharded = run_phased_sharded(&topo(&service, &server, &nodes, Some(&one)), 5, 4)
+        .expect("valid phased topology");
+    assert_eq!(sharded.fleet, unsharded.fleet, "K=1 must be bit-identical to the unsharded phased kernel");
+    assert_eq!(sharded.phases, unsharded.phases, "K=1 per-phase stats must match the unsharded kernel");
+    assert_eq!(sharded.shards.len(), 1);
+    // Worker count on an unsharded phased topology is a no-op too.
+    let wide =
+        run_phased_sharded(&topo(&service, &server, &nodes, None), 5, 8).expect("valid phased topology");
+    assert_eq!(wide, unsharded);
+}
+
+#[test]
+fn phase_boundary_event_counts_merge_exactly_under_hot_shard_skew() {
+    // The hot shard carries half the fleet, so the steal path fires and
+    // partitions finish out of order; the per-phase buckets must still
+    // merge to exactly the serial collector's counts and stats.
+    let service = kv_service();
+    let server = MachineConfig::server_baseline();
+    let boundary = SimTime::from_ms(20);
+    let gen = GeneratorSpec::mutilate().with_connections(20);
+    let nodes: Vec<ClientNode> = (0..16)
+        .map(|i| {
+            ClientNode::new(
+                format!("agent{i}"),
+                MachineConfig::high_performance(),
+                gen,
+                LinkConfig::cloudlab_lan(),
+                40_000.0 + 5_000.0 * i as f64,
+            )
+            .with_dynamics(
+                NodeDynamics::new(PhaseSchedule::new(vec![boundary]))
+                    .with_machines(vec![MachineConfig::high_performance(), MachineConfig::low_power()]),
+            )
+        })
+        .collect();
+    let hot = ShardSpec::uniform(server, 4).with_policy(ShardPolicy::HotShard { hot: 1, share: 0.5 });
+    let spec = topo(&service, &server, &nodes, Some(&hot));
+    let schedule = spec.merged_schedule();
+    let window = (SimTime::ZERO + spec.warmup, SimTime::ZERO + spec.duration);
+
+    let mut serial = (EventCountCollector::new(), PhaseCollector::new(schedule.clone(), window.0, window.1));
+    let serial_result = run_collected(&spec, 29, &mut serial);
+    let (parallel_result, shard_results, (events, phases)) =
+        run_sharded_collected(&spec, 29, 4, |shard, shard_key| {
+            (
+                EventCountCollector::new(),
+                PhaseCollector::for_partition(schedule.clone(), window.0, window.1, shard_key, shard),
+            )
+        });
+    assert_eq!(serial_result, parallel_result);
+    assert_eq!(serial.0.events(), events.events(), "per-shard event counts must merge to the serial count");
+    assert_eq!(shard_results.len(), 4);
+    let serial_phases = serial.1.into_stats();
+    let merged_phases = phases.into_stats();
+    assert_eq!(serial_phases, merged_phases, "canonical-order merge must reproduce the serial buckets");
+    assert_eq!(merged_phases.len(), 2);
+    let pooled: u64 = merged_phases.iter().map(|p| p.samples).sum();
+    assert_eq!(pooled, parallel_result.samples, "phase buckets must partition the window exactly");
 }

@@ -1,0 +1,72 @@
+//! Message audit of [`TopologyError`]'s `Display` arms: every arm must
+//! name the offending entity *and* print the value it rejects, so a log
+//! line from a thousand-cell sweep identifies the broken cell without a
+//! debugger. Historically `EmptyWindow` printed no numbers at all —
+//! this table pins each arm's payload into its message.
+
+use tpv_core::topology::TopologyError;
+use tpv_sim::SimDuration;
+
+#[test]
+fn every_display_arm_prints_the_values_it_rejects() {
+    let warmup = SimDuration::from_ms(60);
+    let duration = SimDuration::from_ms(60);
+    let cases: Vec<(TopologyError, Vec<String>)> = vec![
+        (TopologyError::EmptyFleet, vec!["at least one client node".into()]),
+        (TopologyError::TooManyNodes { lowered: 70_000 }, vec!["70000".into(), u16::MAX.to_string()]),
+        (
+            TopologyError::NonPositiveQps { label: "idle".into(), qps: -3.5 },
+            vec!["'idle'".into(), "-3.5".into(), "must be positive".into()],
+        ),
+        (
+            TopologyError::TooManyPhases { label: "busy".into(), phases: 100_000 },
+            vec!["'busy'".into(), "100000".into(), u16::MAX.to_string()],
+        ),
+        (
+            TopologyError::PhasedRateClosedLoop { label: "closed".into() },
+            vec!["'closed'".into(), "open-loop".into()],
+        ),
+        (
+            TopologyError::NonFinitePhaseRate { label: "poisoned".into(), phase: 3, multiplier: f64::NAN },
+            vec!["'poisoned'".into(), "phase 3".into(), "NaN".into(), "finite and positive".into()],
+        ),
+        (
+            TopologyError::NonFinitePhaseRate { label: "drained".into(), phase: 0, multiplier: -2.0 },
+            vec!["'drained'".into(), "phase 0".into(), "-2".into()],
+        ),
+        (
+            TopologyError::EmptyWindow { warmup, duration },
+            vec![format!("{warmup}"), format!("{duration}"), "warmup must be shorter".into()],
+        ),
+        (
+            TopologyError::EmptyCohort { label: "ghost".into() },
+            vec!["'ghost'".into(), "population of at least one".into()],
+        ),
+        (
+            TopologyError::TrackedExceedsPopulation { label: "over".into(), tracked: 9, population: 4 },
+            vec!["'over'".into(), "9".into(), "4".into()],
+        ),
+        (
+            TopologyError::PooledClosedLoop { label: "pool".into() },
+            vec!["'pool'".into(), "open-loop".into(), "track every member".into()],
+        ),
+    ];
+    for (err, needles) in cases {
+        let message = err.to_string();
+        for needle in needles {
+            assert!(message.contains(&needle), "{err:?}: message {message:?} must contain {needle:?}");
+        }
+    }
+}
+
+/// The window message carries both ends of the rejected interval even
+/// when they differ — not just the equal-boundary case above.
+#[test]
+fn empty_window_message_orders_its_bounds() {
+    let err =
+        TopologyError::EmptyWindow { warmup: SimDuration::from_ms(90), duration: SimDuration::from_ms(60) };
+    let message = err.to_string();
+    let warmup_at = message.find(&format!("{}", SimDuration::from_ms(90))).expect("warmup in message");
+    let duration_at = message.find(&format!("{}", SimDuration::from_ms(60))).expect("duration in message");
+    assert!(warmup_at < duration_at, "warmup should precede duration: {message}");
+}
