@@ -1,0 +1,8 @@
+//! Thin wrapper: regenerates the `ext_mitigation` artefact via the
+//! study registry (see `tpv_bench::study`). Respects `TPV_RUNS` /
+//! `TPV_RUN_SECS` / `TPV_SEED`; run `all_experiments` for the whole
+//! suite with a shared run cache.
+
+fn main() {
+    tpv_bench::study::run_by_name("ext_mitigation");
+}

@@ -1,0 +1,216 @@
+//! **Extension experiment** (beyond the paper's figures): can a
+//! closed-loop controller *tame* the client-side variability the paper
+//! measures? An LP-contaminated diurnal sharded fleet runs under every
+//! shipped [`MitigationPolicy`] next to a do-nothing baseline, and the
+//! study reports how much of the fleet's p99 spread each policy claws
+//! back.
+//!
+//! A 16-node memcached fleet (every 4th node a misconfigured low-power
+//! straggler) follows a 6-step diurnal swing over a 4-shard tier. The
+//! run is split into 6 control windows aligned to the diurnal steps; at
+//! each boundary the policy sees the canonical-order windowed per-node /
+//! per-shard p99s and acts:
+//!
+//! * **do_nothing** — the baseline: the stragglers' ~3× tails persist in
+//!   every window;
+//! * **hedge_requests** — overdue straggler requests get an analytic
+//!   duplicate on the coldest shard; first response wins, capping (not
+//!   fixing) the tail at roughly deadline + replica service time;
+//! * **reroute_hot_shard** — moves flagged nodes off the hottest shard;
+//!   it balances backends but cannot repair a tail manufactured on the
+//!   *client's* side of the wire, the study's negative control;
+//! * **remediate_node** — swaps the straggler's machine configuration
+//!   (the paper's §VI recommendation, applied closed-loop), eliminating
+//!   the spread at its source;
+//! * **admission_throttle** — sheds straggler load; trades throughput
+//!   for tail, another instructive partial fix.
+//!
+//! Headline metric: the post-decision **fleet p99 spread** (worst node
+//! p99 / best node p99, maximized over the windows the controller could
+//! influence), plus the worst pooled window p99 and the throughput cost.
+
+use tpv_core::control::{
+    AdmissionThrottle, ControlSpec, DoNothing, HedgeRequests, MitigationPolicy, RemediateNode,
+    RerouteHotShard,
+};
+use tpv_core::report::{Csv, MarkdownTable};
+use tpv_core::topology::{ClientNode, NodeDynamics, ShardSpec};
+use tpv_hw::MachineConfig;
+use tpv_loadgen::{GeneratorSpec, PhasedRate};
+use tpv_net::LinkConfig;
+use tpv_sim::SimDuration;
+use tpv_stats::desc;
+
+use crate::study::StudyCtx;
+use crate::{banner, env_duration, env_runs, env_seed};
+
+const FLEET: usize = 16;
+const SHARDS: usize = 4;
+const WINDOWS: usize = 6;
+const PER_NODE_QPS: f64 = 20_000.0;
+const AMPLITUDE: f64 = 0.5;
+/// Nodes above this windowed p99 are flagged (LP stragglers sit at
+/// ~210 µs under load, clean HP nodes at ~70–90 µs).
+const THRESHOLD_US: u64 = 150;
+
+/// The LP-contaminated diurnal fleet as a [`ControlSpec`]: the diurnal
+/// plan spans the whole horizon and each control window covers exactly
+/// one step, so the controller's phase boundaries are the load plan's.
+fn spec(horizon: SimDuration) -> ControlSpec {
+    let window = SimDuration::from_ns(horizon.as_ns() / WINDOWS as u64);
+    let horizon = window * WINDOWS as u64;
+    let gen = GeneratorSpec::mutilate().with_connections(160 / FLEET as u32);
+    let rate = PhasedRate::diurnal(horizon, WINDOWS, AMPLITUDE);
+    let nodes: Vec<ClientNode> = (0..FLEET)
+        .map(|i| {
+            let (label, machine) = if i % 4 == 3 {
+                (format!("bad{i}"), MachineConfig::low_power())
+            } else {
+                (format!("agent{i}"), MachineConfig::high_performance())
+            };
+            ClientNode::new(label, machine, gen, LinkConfig::cloudlab_lan(), PER_NODE_QPS)
+                .with_dynamics(NodeDynamics::new(rate.schedule().clone()).with_rate_plan(rate.clone()))
+        })
+        .collect();
+    ControlSpec {
+        service: tpv_core::experiment::Benchmark::memcached().service,
+        shards: ShardSpec::uniform(MachineConfig::server_baseline(), SHARDS),
+        nodes,
+        window,
+        windows: WINDOWS,
+        warmup: SimDuration::from_ns(window.as_ns() / 5),
+    }
+}
+
+fn policies() -> Vec<Box<dyn MitigationPolicy + Sync>> {
+    let threshold = SimDuration::from_us(THRESHOLD_US);
+    vec![
+        Box::new(DoNothing),
+        Box::new(HedgeRequests { threshold, deadline: SimDuration::from_us(120) }),
+        Box::new(RerouteHotShard { min_ratio: 1.5, max_moves: 2 }),
+        Box::new(RemediateNode { threshold, config: MachineConfig::high_performance() }),
+        Box::new(AdmissionThrottle { threshold, factor: 0.5, floor: 0.2 }),
+    ]
+}
+
+/// Renders this artefact through the context engine.
+pub(crate) fn run(ctx: &StudyCtx) {
+    let runs = env_runs(5);
+    let horizon = env_duration(120);
+    banner(
+        "Extension: closed-loop mitigation — policies vs baseline on an LP-contaminated diurnal fleet",
+        runs,
+        horizon,
+    );
+    let spec = spec(horizon);
+    println!(
+        "{FLEET}-node memcached fleet ({} LP stragglers), ±{:.0}% diurnal swing over {SHARDS} shards, \
+         {WINDOWS} control windows of {}; policies flag nodes above {THRESHOLD_US} us windowed p99.\n",
+        FLEET / 4,
+        AMPLITUDE * 100.0,
+        spec.window,
+    );
+
+    let policies = policies();
+    let cells: Vec<(&ControlSpec, &(dyn MitigationPolicy + Sync))> =
+        policies.iter().map(|p| (&spec, p.as_ref())).collect();
+    let per_cell = ctx.run_control_cells(&cells, runs, env_seed());
+
+    // Windows 1.. are the ones a decision could influence; window 0 is
+    // the common observation prelude (identical across policies by
+    // construction — same spec, same window seeds).
+    let mut table = MarkdownTable::new(&[
+        "policy",
+        "fleet p99 spread",
+        "vs baseline",
+        "worst window p99 (us)",
+        "achieved kQPS",
+        "decisions",
+        "hedges",
+    ]);
+    let mut csv = Csv::new(&["policy", "window", "samples", "pooled_p99_us", "node_spread", "hedges"]);
+    let median = |vals: Vec<f64>| desc::median(&vals);
+    let spread_of = |samples: &[tpv_core::control::ControlResult]| {
+        median(samples.iter().map(|r| r.fleet_p99_spread(1)).collect())
+    };
+    let baseline_spread = spread_of(&per_cell[0]);
+    let mut spreads = Vec::new();
+    for (c, samples) in per_cell.iter().enumerate() {
+        let name = policies[c].name();
+        let spread = spread_of(samples);
+        spreads.push(spread);
+        let worst = median(samples.iter().map(|r| r.worst_window_p99(1).as_us()).collect());
+        let qps = median(samples.iter().map(|r| r.mean_achieved_qps(1)).collect());
+        let decisions = median(samples.iter().map(|r| r.decisions.len() as f64).collect());
+        let hedges = median(samples.iter().map(|r| r.total_hedges() as f64).collect());
+        table.row(&[
+            name.to_string(),
+            format!("{spread:.2}x"),
+            if c == 0 {
+                "--".to_string()
+            } else {
+                format!("{:+.0}%", (spread / baseline_spread - 1.0) * 100.0)
+            },
+            format!("{worst:.1}"),
+            format!("{:.0}", qps / 1000.0),
+            format!("{decisions:.0}"),
+            format!("{hedges:.0}"),
+        ]);
+        for w in 0..WINDOWS {
+            csv.row(&[
+                name.to_string(),
+                format!("{w}"),
+                format!(
+                    "{:.0}",
+                    median(samples.iter().map(|r| r.windows[w].aggregate.samples as f64).collect())
+                ),
+                format!(
+                    "{:.3}",
+                    median(samples.iter().map(|r| r.windows[w].aggregate.p99.as_us()).collect())
+                ),
+                format!("{:.3}", {
+                    let spreads: Vec<f64> = samples
+                        .iter()
+                        .map(|r| {
+                            let p99s: Vec<f64> = r.windows[w]
+                                .nodes
+                                .iter()
+                                .filter(|n| n.samples > 0)
+                                .map(|n| n.p99.as_us())
+                                .collect();
+                            let hi = p99s.iter().cloned().fold(f64::MIN, f64::max);
+                            let lo = p99s.iter().cloned().fold(f64::MAX, f64::min);
+                            if lo > 0.0 {
+                                hi / lo
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect();
+                    desc::median(&spreads)
+                }),
+                format!("{:.0}", median(samples.iter().map(|r| r.windows[w].hedges as f64).collect())),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    crate::write_csv("ext_mitigation.csv", &csv);
+
+    let best = (1..per_cell.len())
+        .min_by(|&a, &b| spreads[a].total_cmp(&spreads[b]))
+        .expect("at least one mitigating policy");
+    println!(
+        "\nMitigation finding: the {} policy cuts the post-decision fleet p99 spread from {:.2}x \
+         (do-nothing) to {:.2}x — closing the loop on the paper's client-side variability instead of \
+         just measuring it. Request hedging caps the straggler tail without touching the client; \
+         rerouting shards cannot help (the tail is manufactured client-side); throttling trades \
+         throughput for little tail.",
+        policies[best].name(),
+        baseline_spread,
+        spreads[best],
+    );
+    assert!(
+        spreads[best] < baseline_spread,
+        "at least one mitigation policy must reduce the fleet p99 spread"
+    );
+}

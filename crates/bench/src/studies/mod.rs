@@ -9,6 +9,7 @@ pub(crate) mod ext_closed_loop;
 pub(crate) mod ext_diurnal_fleet;
 pub(crate) mod ext_fleet_scaling;
 pub(crate) mod ext_million_fleet;
+pub(crate) mod ext_mitigation;
 pub(crate) mod ext_mixed_fleet;
 pub(crate) mod ext_phased_shards;
 pub(crate) mod ext_sharded_fleet;

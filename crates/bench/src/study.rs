@@ -11,7 +11,8 @@
 
 use std::sync::Arc;
 
-use tpv_core::engine::{fingerprint_topology, Engine, JobPlan, RunCache};
+use tpv_core::control::{ControlResult, ControlSpec, Controller, MitigationPolicy};
+use tpv_core::engine::{fingerprint_control, fingerprint_topology, Engine, JobPlan, RunCache};
 use tpv_core::runtime::PhasedFleetResult;
 use tpv_core::topology::{CohortedFleetResult, FleetResult, ShardedFleetResult, TopologySpec};
 
@@ -144,6 +145,32 @@ impl StudyCtx {
         let mut per_cell: Vec<Vec<CohortedFleetResult>> = vec![Vec::with_capacity(runs); topos.len()];
         for (cell, _, cohorted) in results {
             per_cell[cell].push(cohorted);
+        }
+        per_cell
+    }
+
+    /// The closed-loop counterpart of [`StudyCtx::run_fleet_cells`]:
+    /// every cell is a `(spec, policy)` pair executed through
+    /// [`tpv_core::control::Controller`], seeded per run off the cell's
+    /// [`fingerprint_control`] content address — so a policy cell's seeds
+    /// survive reordering the policy sweep, exactly like topology cells.
+    /// What the mitigation study (`ext_mitigation`) renders.
+    pub fn run_control_cells(
+        &self,
+        cells: &[(&ControlSpec, &(dyn MitigationPolicy + Sync))],
+        runs: usize,
+        seed: u64,
+    ) -> Vec<Vec<ControlResult>> {
+        let fingerprints: Vec<u64> =
+            cells.iter().map(|(spec, policy)| fingerprint_control(spec, policy.name())).collect();
+        let plan = JobPlan::new(seed, &fingerprints, runs);
+        let results = self.engine.execute_jobs(&plan, |job| {
+            let (spec, policy) = cells[job.cell];
+            Controller::new(spec, policy).run(job.seed, 1)
+        });
+        let mut per_cell: Vec<Vec<ControlResult>> = vec![Vec::with_capacity(runs); cells.len()];
+        for (cell, _, result) in results {
+            per_cell[cell].push(result);
         }
         per_cell
     }
@@ -299,6 +326,12 @@ pub fn registry() -> Vec<Study> {
             run: studies::ext_million_fleet::run,
         },
         Study {
+            name: "ext_mitigation",
+            title: "Extension: closed-loop mitigation — hedging/rerouting/remediation/throttling vs baseline",
+            kind: StudyKind::Extension,
+            run: studies::ext_mitigation::run,
+        },
+        Study {
             name: "ext_verdict_methods",
             title: "Extension: CI-overlap vs Mann-Whitney verdicts",
             kind: StudyKind::Extension,
@@ -352,6 +385,7 @@ mod tests {
             "ext_sharded_fleet",
             "ext_million_fleet",
             "ext_phased_shards",
+            "ext_mitigation",
         ] {
             assert!(
                 find(required).is_some(),

@@ -7,6 +7,43 @@
 //! ([`NullCollector`], the zero-cost default `run_once` compiles
 //! against). The kernel is generic over the collector, so the null case
 //! monomorphizes to empty inlined hooks.
+//!
+//! # Example
+//!
+//! A [`PerNodeCollector`] splits the aggregate into per-node latency
+//! distributions without touching the kernel:
+//!
+//! ```
+//! use tpv_core::collect::PerNodeCollector;
+//! use tpv_core::runtime::run_collected;
+//! use tpv_core::topology::{ClientNode, TopologySpec};
+//! use tpv_hw::MachineConfig;
+//! use tpv_loadgen::GeneratorSpec;
+//! use tpv_net::LinkConfig;
+//! use tpv_sim::SimDuration;
+//!
+//! let service = tpv_core::experiment::Benchmark::memcached().service;
+//! let server = MachineConfig::server_baseline();
+//! let gen = GeneratorSpec::mutilate();
+//! let nodes = [
+//!     ClientNode::new("hp", MachineConfig::high_performance(), gen, LinkConfig::cloudlab_lan(), 15_000.0),
+//!     ClientNode::new("lp", MachineConfig::low_power(), gen, LinkConfig::cloudlab_lan(), 15_000.0),
+//! ];
+//! let topo = TopologySpec {
+//!     service: &service,
+//!     server: &server,
+//!     nodes: &nodes,
+//!     duration: SimDuration::from_ms(15),
+//!     warmup: SimDuration::from_ms(3),
+//!     shards: None,
+//!     cohorts: &[],
+//! };
+//! let mut per_node = PerNodeCollector::new(nodes.len());
+//! let aggregate = run_collected(&topo, 11, &mut per_node);
+//! let results = per_node.into_results();
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(aggregate.samples, results.iter().map(|r| r.samples).sum::<u64>());
+//! ```
 
 use tpv_sim::{LatencyHistogram, PhaseSchedule, SimDuration, SimTime};
 
@@ -62,6 +99,16 @@ pub trait Collector {
     /// End-of-run statistics for `node`.
     fn on_node_done(&mut self, node: usize, stats: &NodeStats) {
         let _ = (node, stats);
+    }
+
+    /// A hedge leg fired for an in-window request from `node`: its
+    /// primary response overran the hedge deadline and the analytic
+    /// duplicate on the hedge backend was consulted (see
+    /// [`crate::control::HedgeSpec`]). Called at most once per recorded
+    /// sample — a hedge never dispatches extra kernel events, so
+    /// [`EventCountCollector`] is unaffected by hedging.
+    fn on_hedge(&mut self, node: usize) {
+        let _ = node;
     }
 }
 
@@ -394,6 +441,11 @@ impl<A: Collector, B: Collector> Collector for (A, B) {
         self.0.on_node_done(node, stats);
         self.1.on_node_done(node, stats);
     }
+
+    fn on_hedge(&mut self, node: usize) {
+        self.0.on_hedge(node);
+        self.1.on_hedge(node);
+    }
 }
 
 impl<A: MergeCollector, B: MergeCollector> MergeCollector for (A, B) {
@@ -572,6 +624,166 @@ impl MergeCollector for PhaseCollector {
     }
 }
 
+/// What one client node did inside one observation window — the per-node
+/// row of a [`WindowedObserver`] collection, and the signal a
+/// [`crate::control::MitigationPolicy`] decides on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeWindow {
+    /// Node declaration index.
+    pub node: usize,
+    /// Requests recorded for this node inside the window.
+    pub samples: u64,
+    /// The node's windowed 99th-percentile latency
+    /// ([`SimDuration::ZERO`] when the window recorded nothing).
+    pub p99: SimDuration,
+    /// Completions per second of window time (0 when empty).
+    pub achieved_qps: f64,
+    /// The node's offered load during the window.
+    pub target_qps: f64,
+    /// Hedge legs fired for this node inside the window.
+    pub hedges: u64,
+}
+
+/// What one server shard absorbed inside one observation window — the
+/// per-shard row of a [`WindowedObserver`] collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardWindow {
+    /// Shard declaration index.
+    pub shard: usize,
+    /// Requests recorded against this shard inside the window.
+    pub samples: u64,
+    /// The shard's windowed 99th-percentile latency.
+    pub p99: SimDuration,
+    /// Completions per second of window time (0 when empty).
+    pub achieved_qps: f64,
+}
+
+/// The controller's eyes: per-node *and* per-shard windowed latency
+/// tails plus achieved rates, collected in one kernel pass.
+///
+/// Sharded runs give every shard its own observer (built with
+/// [`WindowedObserver::for_partition`]); the fold mirrors
+/// [`PhaseCollector`]'s canonical-order discipline. Per-node state moves
+/// (shards partition the fleet, like [`PerNodeCollector`]); per-shard
+/// histograms are buffered whole under their canonical
+/// `(shard_key, shard_index)` rank and never cross-merged, so nothing in
+/// the observation depends on fold order, worker count or steal
+/// schedule. That is what lets a [`crate::control::MitigationPolicy`]
+/// treat the observation as a pure function of the run.
+#[derive(Debug)]
+pub struct WindowedObserver {
+    node_hists: Vec<LatencyHistogram>,
+    node_stats: Vec<Option<NodeStats>>,
+    hedges: Vec<u64>,
+    shard_hist: LatencyHistogram,
+    rank: (u64, usize),
+    absorbed: Vec<((u64, usize), LatencyHistogram)>,
+}
+
+impl WindowedObserver {
+    /// An observer for an unsharded topology of `nodes` client nodes.
+    pub fn new(nodes: usize) -> Self {
+        WindowedObserver::for_partition(nodes, 0, 0)
+    }
+
+    /// A per-shard observer for the partition with canonical content key
+    /// `shard_key` and declaration index `shard` — pass this as the
+    /// collector factory of
+    /// [`crate::runtime::run_sharded_collected_with`].
+    pub fn for_partition(nodes: usize, shard_key: u64, shard: usize) -> Self {
+        WindowedObserver {
+            node_hists: (0..nodes).map(|_| LatencyHistogram::new()).collect(),
+            node_stats: vec![None; nodes],
+            hedges: vec![0; nodes],
+            shard_hist: LatencyHistogram::new(),
+            rank: (shard_key, shard),
+            absorbed: Vec::new(),
+        }
+    }
+
+    /// Total hedge legs fired across the fleet.
+    pub fn total_hedges(&self) -> u64 {
+        self.hedges.iter().sum()
+    }
+
+    /// The windowed per-node and per-shard views, over a measurement
+    /// window of length `measured`. Node rows come in declaration order,
+    /// shard rows sorted by shard index; an empty window (first-boundary
+    /// edge case: nothing recorded yet) yields zero-sample rows with
+    /// [`SimDuration::ZERO`] tails rather than panicking, so a policy
+    /// can treat "no signal" uniformly with "fast".
+    pub fn into_windows(self, measured: SimDuration) -> (Vec<NodeWindow>, Vec<ShardWindow>) {
+        let secs = measured.as_secs();
+        let rate = |samples: u64| if secs > 0.0 { samples as f64 / secs } else { 0.0 };
+        let nodes = self
+            .node_hists
+            .iter()
+            .zip(&self.node_stats)
+            .zip(&self.hedges)
+            .enumerate()
+            .map(|(node, ((hist, stats), &hedges))| NodeWindow {
+                node,
+                samples: hist.count(),
+                p99: hist.percentile(99.0),
+                achieved_qps: rate(hist.count()),
+                target_qps: stats.as_ref().map_or(0.0, |s| s.target_qps),
+                hedges,
+            })
+            .collect();
+        let mut parts: Vec<((u64, usize), LatencyHistogram)> = Vec::with_capacity(1 + self.absorbed.len());
+        parts.push((self.rank, self.shard_hist));
+        parts.extend(self.absorbed);
+        parts.sort_by_key(|&((key, shard), _)| (shard, key));
+        let shards = parts
+            .into_iter()
+            .map(|((_, shard), hist)| ShardWindow {
+                shard,
+                samples: hist.count(),
+                p99: hist.percentile(99.0),
+                achieved_qps: rate(hist.count()),
+            })
+            .collect();
+        (nodes, shards)
+    }
+}
+
+impl Collector for WindowedObserver {
+    fn on_latency(&mut self, node: usize, _stamp: SimTime, measured: SimDuration) {
+        self.node_hists[node].record(measured);
+        self.shard_hist.record(measured);
+    }
+
+    fn on_node_done(&mut self, node: usize, stats: &NodeStats) {
+        self.node_stats[node] = Some(*stats);
+    }
+
+    fn on_hedge(&mut self, node: usize) {
+        self.hedges[node] += 1;
+    }
+}
+
+impl MergeCollector for WindowedObserver {
+    /// Takes `other`'s finished nodes (disjoint across shards) and
+    /// buffers its shard histogram whole under its canonical rank — no
+    /// float state is ever folded across shards, so the observation is
+    /// independent of merge order.
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.node_hists.len(), other.node_hists.len(), "observers cover different fleets");
+        for (i, (stats, (hist, hedges))) in
+            other.node_stats.into_iter().zip(other.node_hists.into_iter().zip(other.hedges)).enumerate()
+        {
+            if stats.is_some() {
+                assert!(self.node_stats[i].is_none(), "node {i} finished on two shards");
+                self.node_stats[i] = stats;
+                self.node_hists[i] = hist;
+            }
+            self.hedges[i] += hedges;
+        }
+        self.absorbed.push((other.rank, other.shard_hist));
+        self.absorbed.extend(other.absorbed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -722,6 +934,69 @@ mod tests {
     #[should_panic(expected = "cohort map points past the cohort list")]
     fn per_cohort_collector_rejects_out_of_range_map() {
         let _ = PerCohortCollector::new(vec![Some(1)], 1);
+    }
+
+    #[test]
+    fn windowed_observer_empty_window_yields_zero_rows() {
+        // First-boundary edge case: the window closed before anything
+        // recorded. The observation must be well-formed zeros, not a panic.
+        let obs = WindowedObserver::new(2);
+        let (nodes, shards) = obs.into_windows(SimDuration::from_ms(10));
+        assert_eq!(nodes.len(), 2);
+        for n in &nodes {
+            assert_eq!(n.samples, 0);
+            assert_eq!(n.p99, SimDuration::ZERO);
+            assert_eq!(n.achieved_qps, 0.0);
+            assert_eq!(n.hedges, 0);
+        }
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].samples, 0);
+        assert_eq!(shards[0].p99, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn windowed_observer_single_sample_p99_is_that_sample() {
+        // One sample in the window: the percentile clamps to the exact
+        // observed value, not a bucket bound past it.
+        let mut obs = WindowedObserver::new(1);
+        obs.on_latency(0, SimTime::from_ms(1), SimDuration::from_us(137));
+        let (nodes, shards) = obs.into_windows(SimDuration::from_ms(10));
+        assert_eq!(nodes[0].samples, 1);
+        assert_eq!(nodes[0].p99, SimDuration::from_us(137));
+        assert_eq!(shards[0].p99, SimDuration::from_us(137));
+        assert!((nodes[0].achieved_qps - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_observer_merge_is_canonical_and_counts_hedges() {
+        let observe = |order: [usize; 2]| {
+            let mut parts: Vec<WindowedObserver> =
+                (0..2).map(|shard| WindowedObserver::for_partition(2, 100 + shard as u64, shard)).collect();
+            for (shard, node) in order.into_iter().enumerate() {
+                parts[shard].on_latency(node, SimTime::ZERO, SimDuration::from_us(40 + 10 * node as u64));
+                parts[shard].on_hedge(node);
+                parts[shard].on_node_done(node, &node_stats(2_000.0, 0.5));
+            }
+            let mut iter = parts.into_iter();
+            let mut merged = iter.next().unwrap();
+            for p in iter {
+                merged.merge(p);
+            }
+            assert_eq!(merged.total_hedges(), 2);
+            merged.into_windows(SimDuration::from_ms(10))
+        };
+        // Which shard hosts which node must not change the observation.
+        let a = observe([0, 1]);
+        let b = observe([1, 0]);
+        assert_eq!(a.0, b.0);
+        // Shard rows follow the shard index, not the fold order...
+        assert_eq!(a.1.iter().map(|s| s.shard).collect::<Vec<_>>(), vec![0, 1]);
+        // ...but swap their contents with the hosting (node 0's sample
+        // follows node 0 to the other shard).
+        assert_eq!(a.1[0].samples, 1);
+        assert_eq!(a.1[0].p99, SimDuration::from_us(40));
+        assert_eq!(b.1[0].p99, SimDuration::from_us(50));
+        assert_eq!(a.0[0].hedges, 1);
     }
 
     #[test]

@@ -23,6 +23,25 @@
 //!   seed. Identical jobs shared across experiments — the paper's
 //!   baseline cells appear in several figures — execute once per process
 //!   when the artefact suite shares one cache.
+//!
+//! # Example
+//!
+//! Seeds are content-addressed: the same cell fingerprint draws the same
+//! seeds wherever the cell sits in the plan, so reordering or sharing
+//! cells across experiments cannot change any result:
+//!
+//! ```
+//! use tpv_core::engine::{Engine, JobPlan};
+//!
+//! let plan = JobPlan::new(99, &[0xAAAA, 0xBBBB, 0xAAAA], 2);
+//! let seeds: Vec<u64> = Engine::serial()
+//!     .execute_jobs(&plan, |job| job.seed)
+//!     .into_iter()
+//!     .map(|(_cell, _run, seed)| seed)
+//!     .collect();
+//! assert_eq!(seeds[0..2], seeds[4..6]); // cells 0 and 2 share content
+//! assert_ne!(seeds[0..2], seeds[2..4]); // cell 1 differs
+//! ```
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -200,6 +219,17 @@ pub fn fingerprint(spec: &RunSpec<'_>) -> u64 {
 /// are independent of its position in a study's sweep.
 pub fn fingerprint_topology(spec: &TopologySpec<'_>) -> u64 {
     fnv64_debug(spec)
+}
+
+/// Content fingerprint of a controlled-run cell: the
+/// [`ControlSpec`](crate::control::ControlSpec) (fleet, tier, window
+/// geometry) plus the policy's stable name. Policies are identified by
+/// name rather than digested structurally — a policy is code, and its
+/// parameters belong to the study that instantiates it, so studies
+/// comparing parameterizations should fold the parameters into `policy`
+/// themselves.
+pub fn fingerprint_control(spec: &crate::control::ControlSpec, policy: &str) -> u64 {
+    fnv64_debug(&(spec, policy))
 }
 
 /// How an [`Engine`] schedules jobs.

@@ -18,7 +18,10 @@
 //!
 //! [`scenarios`] packages the paper's §V studies ready-to-run, [`survey`]
 //! holds the Table I literature survey, and [`report`] renders
-//! tables/series in the paper's formats.
+//! tables/series in the paper's formats. [`control`] closes the loop:
+//! windowed observations feed mitigation policies (hedging, rerouting,
+//! remediation, admission control) that act on the fleet between
+//! windows.
 
 // `deny` rather than `forbid`: the worker-pinning shim in [`pin`] scopes
 // a single documented `sched_setaffinity` declaration behind a local
@@ -28,6 +31,7 @@
 
 pub mod analysis;
 pub mod collect;
+pub mod control;
 pub mod engine;
 pub mod experiment;
 pub mod fidelity;
@@ -41,8 +45,12 @@ pub mod topology;
 
 pub use analysis::{Comparison, Summary, Verdict};
 pub use collect::{
-    Collector, NodeStats, NullCollector, PerCohortCollector, PerNodeCollector, PhaseCollector, PhaseStats,
-    TraceCollector,
+    Collector, NodeStats, NodeWindow, NullCollector, PerCohortCollector, PerNodeCollector, PhaseCollector,
+    PhaseStats, ShardWindow, TraceCollector, WindowedObserver,
+};
+pub use control::{
+    AdmissionThrottle, ControlResult, ControlSpec, Controller, DoNothing, HedgePlan, HedgeRequests,
+    HedgeSpec, MitigationAction, MitigationPolicy, RemediateNode, RerouteHotShard, WindowObservation,
 };
 pub use engine::{CacheStats, Engine, Job, JobPlan, RunCache};
 pub use experiment::{Benchmark, Experiment, ExperimentResults, ServerScenario};

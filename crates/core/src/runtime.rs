@@ -48,6 +48,40 @@
 //! bit-identical to the static kernel, and a one-shard tier is
 //! bit-identical to the unsharded kernel (all pinned by
 //! `tests/golden_runtime.rs`).
+//!
+//! # Example
+//!
+//! Two runs of the same fleet from the same seed are bit-identical, and
+//! the misconfigured low-power node is visibly the straggler:
+//!
+//! ```
+//! use tpv_core::runtime::run_topology;
+//! use tpv_core::topology::{ClientNode, TopologySpec};
+//! use tpv_hw::MachineConfig;
+//! use tpv_loadgen::GeneratorSpec;
+//! use tpv_net::LinkConfig;
+//! use tpv_sim::SimDuration;
+//!
+//! let service = tpv_core::experiment::Benchmark::memcached().service;
+//! let server = MachineConfig::server_baseline();
+//! let gen = GeneratorSpec::mutilate();
+//! let nodes = [
+//!     ClientNode::new("hp", MachineConfig::high_performance(), gen, LinkConfig::cloudlab_lan(), 20_000.0),
+//!     ClientNode::new("lp", MachineConfig::low_power(), gen, LinkConfig::cloudlab_lan(), 20_000.0),
+//! ];
+//! let topo = TopologySpec {
+//!     service: &service,
+//!     server: &server,
+//!     nodes: &nodes,
+//!     duration: SimDuration::from_ms(20),
+//!     warmup: SimDuration::from_ms(4),
+//!     shards: None,
+//!     cohorts: &[],
+//! };
+//! let a = run_topology(&topo, 42);
+//! assert_eq!(a, run_topology(&topo, 42));
+//! assert!(a.nodes[1].result.p99 > a.nodes[0].result.p99);
+//! ```
 
 use tpv_hw::MachineConfig;
 use tpv_loadgen::{ArrivalProcess, ClientSide, GeneratorSpec, LoopMode, PointOfMeasurement};
@@ -230,6 +264,22 @@ pub struct RunTrace {
     pub scheduled_gap_us: f64,
 }
 
+/// Live hedge leg of one node: an analytic replica of the hedge backend
+/// plus the node's second network path and a private RNG stream (fork 7
+/// of the node master — untouched by every other stream, so enabling a
+/// hedge cannot perturb any non-hedged draw). The replica serves overdue
+/// duplicates to completion via
+/// [`ServiceInstance::handle_to_completion`], which models the backend's
+/// service-time distribution but not its live queue depth — the
+/// documented low-rate hedge approximation. No kernel events are
+/// dispatched for a hedge leg, so event counts are hedge-invariant.
+struct HedgeState {
+    deadline: SimDuration,
+    service: ServiceInstance,
+    link: Link,
+    rng: SimRng,
+}
+
 /// Live per-node state of the kernel: the node's generator, link,
 /// connections, its content-addressed RNG streams and (for dynamic
 /// nodes) its phase plan.
@@ -267,6 +317,10 @@ struct NodeState<'a> {
     target_qps: f64,
     /// In-window requests sent but not yet delivered.
     inflight_measured: u64,
+    /// The node's hedge leg, when a [`crate::control::HedgePlan`] covers
+    /// it (fleet layout only; the legacy single-node layout never
+    /// hedges).
+    hedge: Option<HedgeState>,
 }
 
 impl<'a> NodeState<'a> {
@@ -326,6 +380,7 @@ impl<'a> NodeState<'a> {
             qps: node.qps,
             target_qps,
             inflight_measured: 0,
+            hedge: None,
         }
     }
 
@@ -770,7 +825,7 @@ pub fn run_collected<C: Collector>(topo: &TopologySpec<'_>, seed: u64, collector
     let master = SimRng::seed_from_u64(seed);
     let plans = build_partitions(topo, layout.nodes(), &master);
     let outcomes: Vec<PartitionOutcome> =
-        plans.iter().map(|plan| run_partition(topo, plan, &master, collector)).collect();
+        plans.iter().map(|plan| run_partition(topo, plan, &master, None, collector)).collect();
     finish_run(topo, &outcomes)
 }
 
@@ -781,6 +836,7 @@ fn run_partition<C: Collector>(
     topo: &TopologySpec<'_>,
     part: &PartitionPlan<'_>,
     global_master: &SimRng,
+    hedge_plan: Option<&crate::control::HedgePlan>,
     collector: &mut C,
 ) -> PartitionOutcome {
     if part.members.is_empty() {
@@ -824,7 +880,7 @@ fn run_partition<C: Collector>(
             let node_master = global_master.fork(key);
             let mut node_env_rng = node_master.fork(5);
             let client_env = node.initial_machine().draw_environment(&mut node_env_rng);
-            states.push(NodeState::new(
+            let mut st = NodeState::new(
                 node,
                 key,
                 &client_env,
@@ -834,7 +890,19 @@ fn run_partition<C: Collector>(
                 Some(node_master.fork(3)),
                 node_master.fork(6),
                 window,
-            ));
+            );
+            // The hedge leg lives on fork 7 of the node master — never
+            // consumed by any other path, so a non-hedged run is
+            // byte-identical whether or not hedging exists in the build.
+            st.hedge = hedge_plan.and_then(|plan| plan.get(&node.label)).map(|spec| {
+                let mut rng = node_master.fork(7);
+                let env = spec.backend.draw_environment(&mut rng);
+                let service =
+                    ServiceInstance::new(topo.service, &spec.backend, &env, topo.duration, &mut rng);
+                let link = Link::new(&node.link, &mut rng);
+                HedgeState { deadline: spec.deadline, service, link, rng }
+            });
+            states.push(st);
         }
     }
     let mut service =
@@ -973,11 +1041,47 @@ fn run_partition<C: Collector>(
                     }
                 }
                 Event::ClientDelivery { req } => {
-                    let r = requests.remove(req);
+                    let r = *requests.hot(req);
+                    let in_window = r.stamp >= window_start && r.stamp < window_end;
+                    // Copy the descriptor out before the slot dies; only
+                    // deliveries that can actually hedge pay for it.
+                    let hedged_desc = if in_window && states[r.node as usize].hedge.is_some() {
+                        Some(requests.cold(req).desc)
+                    } else {
+                        None
+                    };
+                    requests.remove(req);
                     let st = &mut states[r.node as usize];
                     let recv = st.client.receive(r.conn as usize, now, &mut st.client_rng);
-                    let measured = recv.stamp(st.pom).since(r.stamp);
-                    if r.stamp >= window_start && r.stamp < window_end {
+                    let mut measured = recv.stamp(st.pom).since(r.stamp);
+                    if in_window {
+                        if let Some(desc) = hedged_desc {
+                            let node_key = st.node_key;
+                            let h = st.hedge.as_mut().expect("hedged_desc implies hedge state");
+                            if measured > h.deadline {
+                                // The duplicate leaves once the primary
+                                // overruns the deadline; first response
+                                // wins. Hedge draws fire only for
+                                // recorded (in-window) requests, so the
+                                // leg's stream consumption is a pure
+                                // function of the measured request
+                                // sequence.
+                                let fire = r.stamp + h.deadline;
+                                let arrival = fire + h.link.one_way(&mut h.rng);
+                                let key = NodeConn { node_key, conn: r.conn };
+                                let done = h.service.handle_to_completion(
+                                    key.affinity_key(),
+                                    &desc,
+                                    arrival,
+                                    &mut h.rng,
+                                );
+                                let alt = (done.response_wire + h.link.one_way(&mut h.rng)).since(r.stamp);
+                                collector.on_hedge(global[r.node as usize]);
+                                if alt < measured {
+                                    measured = alt;
+                                }
+                            }
+                        }
                         st.inflight_measured -= 1;
                         hist.record(measured);
                         collector.on_latency(global[r.node as usize], r.stamp, measured);
@@ -1167,6 +1271,38 @@ where
     C: MergeCollector + Send,
     F: Fn(usize, u64) -> C + Sync,
 {
+    run_sharded_collected_hedged_with(topo, seed, workers, pin, None, make)
+}
+
+/// [`run_sharded_collected_with`] plus an optional
+/// [`HedgePlan`](crate::control::HedgePlan): nodes the plan covers
+/// duplicate overdue requests to an analytic replica and the first
+/// response wins (see [`crate::control::HedgeSpec`] for the model and
+/// its low-rate caveat). `hedge: None` is exactly the unhedged kernel —
+/// the hedge streams then don't exist, not merely go unused.
+///
+/// Hedging preserves every determinism contract: the hedge leg draws
+/// from fork 7 of the hedged node's own content-addressed master, fires
+/// only for measured requests, and dispatches no events — results stay
+/// bit-identical whatever `workers`, the pin policy, the OS schedule or
+/// the fleet declaration order. The legacy single-node stream layout
+/// (one node, unsharded) predates per-node masters and never hedges.
+///
+/// # Panics
+///
+/// Panics on the same invalid specs as [`run_collected`].
+pub fn run_sharded_collected_hedged_with<C, F>(
+    topo: &TopologySpec<'_>,
+    seed: u64,
+    workers: usize,
+    pin: crate::pin::PinPolicy,
+    hedge: Option<&crate::control::HedgePlan>,
+    make: F,
+) -> (RunResult, Vec<ShardResult>, C)
+where
+    C: MergeCollector + Send,
+    F: Fn(usize, u64) -> C + Sync,
+{
     validate_topology(topo);
     let layout = topo.layout();
     let master = SimRng::seed_from_u64(seed);
@@ -1177,7 +1313,7 @@ where
             .iter()
             .map(|plan| {
                 let mut collector = make(plan.shard, plan.key);
-                let outcome = run_partition(topo, plan, &master, &mut collector);
+                let outcome = run_partition(topo, plan, &master, hedge, &mut collector);
                 (outcome, collector)
             })
             .collect()
@@ -1240,7 +1376,7 @@ where
                         let Some(s) = task else { break };
                         let plan = &plans[s];
                         let mut collector = make(plan.shard, plan.key);
-                        let outcome = run_partition(topo, plan, master, &mut collector);
+                        let outcome = run_partition(topo, plan, master, hedge, &mut collector);
                         out.lock().expect("shard results poisoned").push((s, outcome, collector));
                     }
                 });

@@ -31,6 +31,42 @@
 //! exact replicas for per-client drill-down. Memory and per-event cost
 //! scale with the *lowered* node count, not the modeled population —
 //! a million-client fleet executes as a few dozen kernel nodes.
+//!
+//! # Example
+//!
+//! Content-addressed randomness makes fleet declaration order
+//! irrelevant — each node's results follow the node wherever it moves:
+//!
+//! ```
+//! use tpv_core::runtime::run_topology;
+//! use tpv_core::topology::{ClientNode, TopologySpec};
+//! use tpv_hw::MachineConfig;
+//! use tpv_loadgen::GeneratorSpec;
+//! use tpv_net::LinkConfig;
+//! use tpv_sim::SimDuration;
+//!
+//! let service = tpv_core::experiment::Benchmark::memcached().service;
+//! let server = MachineConfig::server_baseline();
+//! let gen = GeneratorSpec::mutilate();
+//! let hp = ClientNode::new("hp", MachineConfig::high_performance(), gen, LinkConfig::cloudlab_lan(), 15_000.0);
+//! let lp = ClientNode::new("lp", MachineConfig::low_power(), gen, LinkConfig::cloudlab_lan(), 15_000.0);
+//! let run = |nodes: &[ClientNode]| {
+//!     run_topology(&TopologySpec {
+//!         service: &service,
+//!         server: &server,
+//!         nodes,
+//!         duration: SimDuration::from_ms(15),
+//!         warmup: SimDuration::from_ms(3),
+//!         shards: None,
+//!         cohorts: &[],
+//!     }, 7)
+//! };
+//! let fwd = run(&[hp.clone(), lp.clone()]);
+//! let rev = run(&[lp, hp]);
+//! assert_eq!(fwd.nodes[0], rev.nodes[1]);
+//! assert_eq!(fwd.nodes[1], rev.nodes[0]);
+//! assert_eq!(fwd.aggregate, rev.aggregate);
+//! ```
 
 use std::borrow::Cow;
 use std::fmt;
@@ -157,6 +193,33 @@ impl NodeDynamics {
         match &self.rate {
             Some(rate) => rate.mean_multiplier(start, end),
             None => 1.0,
+        }
+    }
+
+    /// These dynamics restricted to the window `[start, end)`, with the
+    /// window's `start` re-anchored to `t = 0`. Every per-phase value —
+    /// machine config, rate multiplier, link — is copied from the phase
+    /// that covers the corresponding original instant, never recomputed,
+    /// so a sliced plan replays the original timeline exactly. This is
+    /// the seam segmented (windowed) execution rests on: the control loop
+    /// in [`crate::control`] replays a long dynamic run one window at a
+    /// time by handing each window the slice it would have lived under.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start < end`.
+    pub fn slice(&self, start: SimTime, end: SimTime) -> NodeDynamics {
+        let schedule = self.schedule.slice(start, end);
+        let links = self.links.as_ref().map(|links| {
+            (0..schedule.phase_count())
+                .map(|p| links[self.schedule.phase_at(start + schedule.phase_start(p).since(SimTime::ZERO))])
+                .collect()
+        });
+        NodeDynamics {
+            schedule,
+            machine: self.machine.as_ref().map(|m| m.slice(start, end)),
+            rate: self.rate.as_ref().map(|r| r.slice(start, end)),
+            links,
         }
     }
 }

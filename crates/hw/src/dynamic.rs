@@ -67,6 +67,22 @@ impl DynamicMachine {
         &self.configs[self.schedule.phase_at(t)]
     }
 
+    /// The plan restricted to the window `[start, end)`, re-anchored so
+    /// `start` becomes the new `t = 0` (see `PhaseSchedule::slice`).
+    /// Configurations are copied from the phases the window covers, so a
+    /// sliced decay plan reproduces the original timeline exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start < end`.
+    pub fn slice(&self, start: SimTime, end: SimTime) -> DynamicMachine {
+        let schedule = self.schedule.slice(start, end);
+        let configs = (0..schedule.phase_count())
+            .map(|p| *self.at(start + schedule.phase_start(p).since(SimTime::ZERO)))
+            .collect();
+        DynamicMachine { schedule, configs }
+    }
+
     /// True when no boundary actually changes the configuration — the
     /// machine is (perhaps redundantly described but) static.
     pub fn is_static(&self) -> bool {
@@ -108,6 +124,21 @@ mod tests {
         assert!(!after.turbo.enabled);
         assert_eq!(after.cstates, base.cstates);
         assert_eq!(after.dvfs, base.dvfs);
+    }
+
+    #[test]
+    fn slice_replays_the_covered_timeline() {
+        let base = MachineConfig::high_performance();
+        let m = DynamicMachine::turbo_decay(base, SimTime::from_ms(50));
+        // A window straddling the decay keeps the boundary, re-anchored.
+        let w = m.slice(SimTime::from_ms(40), SimTime::from_ms(60));
+        assert_eq!(w.schedule().boundaries(), &[SimTime::from_ms(10)]);
+        assert!(w.at(SimTime::from_ms(9)).turbo.enabled);
+        assert!(!w.at(SimTime::from_ms(10)).turbo.enabled);
+        // A window entirely after the decay is statically exhausted.
+        let w = m.slice(SimTime::from_ms(50), SimTime::from_ms(70));
+        assert!(w.is_static());
+        assert!(!w.at(SimTime::ZERO).turbo.enabled);
     }
 
     #[test]

@@ -98,6 +98,22 @@ impl PhasedRate {
         self.multipliers[self.schedule.phase_at(t)]
     }
 
+    /// The rate restricted to the window `[start, end)`, re-anchored so
+    /// `start` becomes the new `t = 0` (see `PhaseSchedule::slice`).
+    /// Multipliers are *copied*, never recomputed, so a sliced diurnal
+    /// plan reproduces the original phases' rates bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start < end`.
+    pub fn slice(&self, start: SimTime, end: SimTime) -> PhasedRate {
+        let schedule = self.schedule.slice(start, end);
+        let multipliers = (0..schedule.phase_count())
+            .map(|p| self.multiplier_at(start + schedule.phase_start(p).since(SimTime::ZERO)))
+            .collect();
+        PhasedRate { schedule, multipliers }
+    }
+
     /// Time-weighted mean multiplier over the window `[start, end)` —
     /// what a run's *effective* offered load is relative to the base
     /// rate. Exactly `multiplier(0)` for a single-phase rate.
@@ -149,6 +165,23 @@ mod tests {
         // Midpoint sampling of a full sine cycle averages to 1.
         let mean = r.mean_multiplier(SimTime::ZERO, SimTime::from_secs(1));
         assert!((mean - 1.0).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn slice_copies_the_covering_phases_multipliers() {
+        let r =
+            PhasedRate::new(PhaseSchedule::stepped(SimDuration::from_ms(10), 4), vec![0.5, 2.0, 1.0, 3.0]);
+        // Window [10ms, 30ms) covers phases 1 and 2.
+        let w = r.slice(SimTime::from_ms(10), SimTime::from_ms(30));
+        assert_eq!(w.schedule().phase_count(), 2);
+        assert_eq!(w.multiplier(0), 2.0);
+        assert_eq!(w.multiplier(1), 1.0);
+        assert_eq!(w.multiplier_at(SimTime::from_ms(9)), 2.0);
+        assert_eq!(w.multiplier_at(SimTime::from_ms(10)), 1.0);
+        // A window inside one phase is a constant rate at that phase's value.
+        let w = r.slice(SimTime::from_ms(31), SimTime::from_ms(39));
+        assert!(w.schedule().is_single());
+        assert_eq!(w.multiplier(0), 3.0);
     }
 
     #[test]

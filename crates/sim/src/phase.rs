@@ -144,6 +144,30 @@ impl PhaseSchedule {
         PhaseSchedule { boundaries: all }
     }
 
+    /// The schedule restricted to the window `[start, end)`, re-anchored
+    /// so the window's `start` becomes the new [`SimTime::ZERO`].
+    ///
+    /// Only boundaries strictly inside the window survive (a boundary at
+    /// exactly `start` would open an empty phase 0; one at or past `end`
+    /// is never reached). This is the seam segmented execution uses: a
+    /// controller that replays a long phased run window by window hands
+    /// each window the slice of the original schedule it will live under.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start < end`.
+    pub fn slice(&self, start: SimTime, end: SimTime) -> PhaseSchedule {
+        assert!(start < end, "empty slice window [{start}, {end})");
+        PhaseSchedule {
+            boundaries: self
+                .boundaries
+                .iter()
+                .filter(|&&b| b > start && b < end)
+                .map(|&b| SimTime::ZERO + b.since(start))
+                .collect(),
+        }
+    }
+
     /// Per-phase fraction of the window `[start, end)` each phase covers
     /// (sums to 1). Used to time-average per-phase quantities — e.g. the
     /// effective offered load of a stepped-rate run.
@@ -231,6 +255,19 @@ mod tests {
         // A window entirely inside one phase weighs only that phase.
         let w = s.overlap_weights(SimTime::from_ms(12), SimTime::from_ms(20));
         assert_eq!(w, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn slice_reanchors_interior_boundaries() {
+        let s = PhaseSchedule::new(vec![SimTime::from_ms(10), SimTime::from_ms(30), SimTime::from_ms(50)]);
+        // Window [10ms, 50ms): the 10ms boundary opens the window (dropped),
+        // 30ms survives re-anchored to 20ms, 50ms is never reached.
+        let w = s.slice(SimTime::from_ms(10), SimTime::from_ms(50));
+        assert_eq!(w.boundaries(), &[SimTime::from_ms(20)]);
+        // A window inside one phase degenerates to the single schedule.
+        assert!(s.slice(SimTime::from_ms(31), SimTime::from_ms(49)).is_single());
+        // Slicing the whole of time is the identity.
+        assert_eq!(s.slice(SimTime::ZERO, SimTime::MAX), s);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! `cargo test --test golden_runtime -- --ignored --nocapture`
 //! and paste the printed rows over `GOLDEN`.
 
+use tpv_core::control::{
+    AdmissionThrottle, ControlSpec, Controller, DoNothing, HedgeRequests, MitigationPolicy, RemediateNode,
+    RerouteHotShard,
+};
 use tpv_core::runtime::{
     run_cohorted, run_once, run_phased, run_phased_sharded, run_topology_sharded, RunResult, RunSpec,
 };
@@ -457,8 +461,67 @@ fn observe_cohort(
     (row, per_cohort)
 }
 
+/// One pinned controlled run: per-window `(samples, p99 ns)` pairs plus
+/// the decision and hedge counts — a drift in the windowed observer, a
+/// policy's decision function, the mitigation rewrites or the hedge
+/// leg's RNG stream trips the pin. Checked at 1/2/3/4/8 workers: a
+/// controller decision is a pure function of canonical-order windowed
+/// stats, so the schedule cannot leak into a single bit.
+struct ControlGolden {
+    name: &'static str,
+    seed: u64,
+    windows: &'static [[u64; 2]],
+    decisions: u64,
+    hedges: u64,
+}
+
+/// The controlled fleet under pin: the sharded golden fleet's shape (two
+/// low-power stragglers in an otherwise high-performance fleet, uniform
+/// round-robin over four backends — which parks both LP nodes on shard
+/// 3), run as three 20 ms control windows.
+fn control_spec() -> ControlSpec {
+    let gen = GeneratorSpec::mutilate().with_connections(20);
+    let nodes: Vec<ClientNode> = (0..8)
+        .map(|i| {
+            let machine =
+                if i % 4 == 3 { MachineConfig::low_power() } else { MachineConfig::high_performance() };
+            ClientNode::new(format!("agent{i}"), machine, gen, LinkConfig::cloudlab_lan(), 20_000.0)
+        })
+        .collect();
+    ControlSpec {
+        service: ServiceConfig::new(ServiceKind::Memcached(KvConfig::default())),
+        shards: ShardSpec::uniform(MachineConfig::server_baseline(), 4),
+        nodes,
+        window: SimDuration::from_ms(20),
+        windows: 3,
+        warmup: SimDuration::from_ms(4),
+    }
+}
+
+/// Every shipped policy, parameterized to trip on the LP stragglers
+/// (whose windowed p99 sits far above the 150 µs threshold) and nothing
+/// else.
+fn control_policies() -> Vec<Box<dyn MitigationPolicy>> {
+    let threshold = SimDuration::from_us(150);
+    vec![
+        Box::new(DoNothing),
+        Box::new(HedgeRequests { threshold, deadline: SimDuration::from_us(120) }),
+        Box::new(RerouteHotShard { min_ratio: 1.5, max_moves: 2 }),
+        Box::new(RemediateNode { threshold, config: MachineConfig::high_performance() }),
+        Box::new(AdmissionThrottle { threshold, factor: 0.5, floor: 0.2 }),
+    ]
+}
+
+fn observe_control(policy: &dyn MitigationPolicy, seed: u64, workers: usize) -> (Vec<[u64; 2]>, u64, u64) {
+    let spec = control_spec();
+    let result = Controller::new(&spec, policy).run(seed, workers);
+    let windows = result.windows.iter().map(|w| [w.aggregate.samples, w.aggregate.p99.as_ns()]).collect();
+    (windows, result.decisions.len() as u64, result.total_hedges())
+}
+
 /// Regeneration helper (not part of the suite): prints `GOLDEN`,
-/// `GOLDEN_PHASED`, `GOLDEN_SHARDED` and `GOLDEN_COHORT` rows.
+/// `GOLDEN_PHASED`, `GOLDEN_SHARDED`, `GOLDEN_COHORT` and
+/// `GOLDEN_CONTROL` rows.
 #[test]
 #[ignore = "regeneration helper; run with --ignored --nocapture"]
 fn print_goldens() {
@@ -501,6 +564,16 @@ fn print_goldens() {
             let (row, per_shard, per_phase) = observe_phased_sharded(&shards, &nodes, seed, 3);
             println!(
                 "    PhasedShardedGolden {{ name: \"{name}\", seed: {seed}, row: {row:?}, shards: &{per_shard:?}, phases: &{per_phase:?} }},"
+            );
+        }
+    }
+    println!();
+    for policy in control_policies() {
+        for seed in [2024u64, 7] {
+            let (windows, decisions, hedges) = observe_control(policy.as_ref(), seed, 3);
+            println!(
+                "    ControlGolden {{ name: \"{}\", seed: {seed}, windows: &{windows:?}, decisions: {decisions}, hedges: {hedges} }},",
+                policy.name()
             );
         }
     }
@@ -559,6 +632,80 @@ const GOLDEN_COHORT: &[CohortGolden] = &[
     CohortGolden { name: "memcached-cohort-sharded", seed: 2024, row: [82660, 78847, 239615, 278986, 43606, 1304, 4672367006375370449, 4672326283722489856, 4602772707261717850, 44761, 1485, 328, 830, 217, 4618105956209793357, 0], cohorts: &[[663, 243711], [641, 69631]] },
     CohortGolden { name: "memcached-cohort-sharded", seed: 7, row: [86268, 77823, 247807, 456004, 50216, 1321, 4672453542012741708, 4672326283722489856, 4602687784533550768, 44229, 1542, 272, 826, 269, 4618142311024528556, 0], cohorts: &[[658, 253951], [663, 80895]] },
 ];
+
+#[rustfmt::skip]
+const GOLDEN_CONTROL: &[ControlGolden] = &[
+    ControlGolden { name: "do_nothing", seed: 2024, windows: &[[2534, 219135], [3287, 219135], [3318, 212991]], decisions: 0, hedges: 0 },
+    ControlGolden { name: "do_nothing", seed: 7, windows: &[[2544, 184319], [3263, 210943], [3279, 215039]], decisions: 0, hedges: 0 },
+    ControlGolden { name: "hedge_requests", seed: 2024, windows: &[[2534, 219135], [3287, 169983], [3318, 167935]], decisions: 2, hedges: 175 },
+    ControlGolden { name: "hedge_requests", seed: 7, windows: &[[2544, 184319], [3263, 169983], [3279, 167935]], decisions: 2, hedges: 182 },
+    ControlGolden { name: "reroute_hot_shard", seed: 2024, windows: &[[2534, 219135], [3287, 215039], [3318, 217087]], decisions: 4, hedges: 0 },
+    ControlGolden { name: "reroute_hot_shard", seed: 7, windows: &[[2544, 184319], [3263, 212991], [3279, 219135]], decisions: 4, hedges: 0 },
+    ControlGolden { name: "remediate_node", seed: 2024, windows: &[[2534, 219135], [3340, 69631], [3360, 72703]], decisions: 2, hedges: 0 },
+    ControlGolden { name: "remediate_node", seed: 7, windows: &[[2544, 184319], [3217, 66559], [3257, 72703]], decisions: 2, hedges: 0 },
+    ControlGolden { name: "admission_throttle", seed: 2024, windows: &[[2534, 219135], [2928, 204799], [2690, 206847]], decisions: 4, hedges: 0 },
+    ControlGolden { name: "admission_throttle", seed: 7, windows: &[[2544, 184319], [2817, 217087], [2687, 210943]], decisions: 4, hedges: 0 },
+];
+
+/// Every controller-enabled run must be bit-identical across worker
+/// counts — the decision loop sees only canonical-order windowed stats,
+/// so parallelism is presentation, not physics. The pins also audit the
+/// decision and hedge accounting of every shipped policy.
+#[test]
+fn controlled_runs_match_their_pins() {
+    assert!(!GOLDEN_CONTROL.is_empty(), "control golden table must be populated");
+    let policies = control_policies();
+    for g in GOLDEN_CONTROL {
+        let policy = policies
+            .iter()
+            .find(|p| p.name() == g.name)
+            .unwrap_or_else(|| panic!("unknown control golden policy {}", g.name));
+        for workers in [1usize, 2, 3, 4, 8] {
+            let (windows, decisions, hedges) = observe_control(policy.as_ref(), g.seed, workers);
+            assert_eq!(
+                windows, g.windows,
+                "{} seed {}: windowed stats drifted from the pin at {workers} workers",
+                g.name, g.seed
+            );
+            assert_eq!(
+                decisions, g.decisions,
+                "{} seed {}: decision count drifted at {workers} workers",
+                g.name, g.seed
+            );
+            assert_eq!(
+                hedges, g.hedges,
+                "{} seed {}: hedge count drifted at {workers} workers",
+                g.name, g.seed
+            );
+        }
+    }
+    // The pins themselves encode the mitigation findings: the baseline
+    // never acts or hedges, every other policy acts on the straggler
+    // signal, only the hedging policy fires hedges, and the two
+    // tail-repairing policies beat the baseline's post-decision tail.
+    let worst_after = |g: &&ControlGolden| g.windows.iter().skip(1).map(|w| w[1]).max().unwrap();
+    for seed in [2024u64, 7] {
+        let by_name = |n: &str| {
+            GOLDEN_CONTROL
+                .iter()
+                .find(|g| g.name == n && g.seed == seed)
+                .unwrap_or_else(|| panic!("missing control pin {n} seed {seed}"))
+        };
+        let base = by_name("do_nothing");
+        assert_eq!(base.decisions, 0, "the baseline must not act");
+        assert_eq!(base.hedges, 0, "the baseline must not hedge");
+        for g in GOLDEN_CONTROL.iter().filter(|g| g.seed == seed && g.name != "do_nothing") {
+            assert!(g.decisions > 0, "{}: the straggler signal must trigger the policy", g.name);
+            assert_eq!(g.hedges > 0, g.name == "hedge_requests", "{}: hedge accounting", g.name);
+        }
+        for n in ["hedge_requests", "remediate_node"] {
+            assert!(
+                worst_after(&by_name(n)) < worst_after(&base),
+                "{n} seed {seed}: post-decision pooled tail must beat the do-nothing baseline"
+            );
+        }
+    }
+}
 
 /// A cohort of `population: 1` must be bit-identical to the equivalent
 /// explicit `ClientNode` — the cohort layer's central invariant (the
