@@ -1,8 +1,14 @@
 //! `perf_probe`: times the topology kernel over a fixed scenario matrix
 //! and writes a machine-readable `BENCH.json`.
 //!
-//! Five scenarios cover the kernel's load-bearing shapes:
+//! Six scenarios cover the kernel's load-bearing shapes:
 //!
+//! * `samplers` — per-distribution sampler microbench: the aggregate
+//!   draw rate of the production (`tpv_math`-backed) samplers is the
+//!   gated quantity, and the scenario prints an interleaved A/B table
+//!   of ns/draw against inline libm reference transforms — alternating
+//!   short blocks on the same core so frequency scaling and cache state
+//!   hit both sides equally.
 //! * `static_1x1` — the paper's testbed: one HP memcached client at
 //!   100K QPS (the `run_once` fast path).
 //! * `fleet_16` — a 16-node HP fleet, 100K QPS per node: the
@@ -82,7 +88,7 @@ use std::time::Instant;
 
 use tpv_bench::perf::{
     compare, events_per_sec_ci, iqr_filter, refreshed_baseline, speedup_ci, summary_markdown, BenchReport,
-    ScenarioReport, Verdict, SCHEMA,
+    RunnerInfo, ScenarioReport, Verdict, SCHEMA,
 };
 use tpv_core::collect::{Collector, EventCountCollector, PerCohortCollector, PhaseCollector};
 use tpv_core::runtime::{run_collected, run_sharded_collected_with, run_topology_sharded_with};
@@ -238,8 +244,8 @@ fn time_scenario(name: &str, trials: usize, mut run: impl FnMut() -> (u64, u64))
         wall_ms_median: median,
         wall_ms_cov: cov,
         events_per_sec: if median > 0.0 { events as f64 / (median / 1e3) } else { 0.0 },
-        wall_ms_serial: 0.0,
-        speedup_vs_serial: 0.0,
+        wall_ms_serial: None,
+        speedup_vs_serial: None,
         repeats,
         peak_rss_kb: 0,
         wall_ms_trials: kept,
@@ -249,6 +255,133 @@ fn time_scenario(name: &str, trials: usize, mut run: impl FnMut() -> (u64, u64))
         speedup_ci_low: 0.0,
         speedup_ci_high: 0.0,
     }
+}
+
+/// Draws per distribution in one timed `samplers` pass.
+const SAMPLER_DRAWS: usize = 100_000;
+/// Draws per interleaved A/B timing block.
+const AB_BLOCK: usize = 8_192;
+/// A/B blocks per side (median taken over them).
+const AB_ROUNDS: usize = 9;
+
+/// Times `AB_ROUNDS` alternating blocks of each transform (A then B,
+/// repeatedly, on one core) and returns their median ns/draw as
+/// `(libm, tpv_math)`. Each side owns an identically seeded stream, so
+/// both transform the same uniforms.
+fn ab_ns_per_draw(
+    mut libm_draw: impl FnMut(&mut tpv_sim::SimRng) -> f64,
+    mut fast_draw: impl FnMut(&mut tpv_sim::SimRng) -> f64,
+) -> (f64, f64) {
+    use std::hint::black_box;
+    let mut libm_rng = tpv_sim::SimRng::seed_from_u64(SEED);
+    let mut fast_rng = tpv_sim::SimRng::seed_from_u64(SEED);
+    let mut libm_ns = Vec::with_capacity(AB_ROUNDS);
+    let mut fast_ns = Vec::with_capacity(AB_ROUNDS);
+    for _ in 0..AB_ROUNDS {
+        let started = Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..AB_BLOCK {
+            acc += libm_draw(&mut libm_rng);
+        }
+        black_box(acc);
+        libm_ns.push(started.elapsed().as_nanos() as f64 / AB_BLOCK as f64);
+        let started = Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..AB_BLOCK {
+            acc += fast_draw(&mut fast_rng);
+        }
+        black_box(acc);
+        fast_ns.push(started.elapsed().as_nanos() as f64 / AB_BLOCK as f64);
+    }
+    (tpv_stats::desc::median(&libm_ns), tpv_stats::desc::median(&fast_ns))
+}
+
+/// The sampler microbench: gates on the aggregate draw rate of the
+/// production samplers and prints the per-distribution interleaved A/B
+/// table against libm reference transforms. The reference closures
+/// consume the same number of uniforms per draw as the production path
+/// (1, or 2 for the Box–Muller pair), so the RNG overhead cancels and
+/// the ratio isolates the transcendental kernels.
+fn samplers(trials: usize, _pin: PinPolicy) -> ScenarioReport {
+    use std::hint::black_box;
+    use tpv_sim::dist::{Exponential, GeneralizedPareto, Gev, LogNormal, Normal, Pareto, Sampler, Zipf};
+
+    let exp = Exponential::with_mean(10.0);
+    let norm = Normal::new(100.0, 15.0);
+    let lnorm = LogNormal::with_mean(100.0, 0.5);
+    let pareto = Pareto::new(1.0, 1.5);
+    let gpd = GeneralizedPareto::new(0.0, 1.0, 0.2);
+    let gev = Gev::new(0.0, 1.0, 0.3);
+    let zipf = Zipf::new(10_000, 0.99);
+
+    // Inline libm references replicate each production transform's
+    // arithmetic with `std` math calls — perf references, not bit
+    // references (the whole point of tpv_math is that libm's bits vary).
+    let ln_mu = 100.0f64.ln() - 0.5 * 0.5 / 2.0;
+    let table: Vec<(&str, (f64, f64))> = vec![
+        ("exponential", ab_ns_per_draw(|r| -10.0 * (1.0 - r.next_f64()).ln(), |r| exp.sample(r))),
+        (
+            "normal",
+            ab_ns_per_draw(
+                |r| {
+                    let (a, b) = (r.next_f64(), r.next_f64());
+                    let z = (-2.0 * (1.0 - a).ln()).sqrt() * (std::f64::consts::TAU * b).cos();
+                    100.0 + 15.0 * z
+                },
+                |r| norm.sample(r),
+            ),
+        ),
+        (
+            "lognormal",
+            ab_ns_per_draw(
+                |r| {
+                    let (a, b) = (r.next_f64(), r.next_f64());
+                    let z = (-2.0 * (1.0 - a).ln()).sqrt() * (std::f64::consts::TAU * b).cos();
+                    (ln_mu + 0.5 * z).exp()
+                },
+                |r| lnorm.sample(r),
+            ),
+        ),
+        ("pareto", ab_ns_per_draw(|r| 1.0 / (1.0 - r.next_f64()).powf(1.0 / 1.5), |r| pareto.sample(r))),
+        ("gpd", ab_ns_per_draw(|r| ((1.0 - r.next_f64()).powf(-0.2) - 1.0) / 0.2, |r| gpd.sample(r))),
+        (
+            "gev",
+            ab_ns_per_draw(
+                |r| {
+                    let ln_u = -(1.0 - r.next_f64()).ln();
+                    (ln_u.powf(-0.3) - 1.0) / 0.3
+                },
+                |r| gev.sample(r),
+            ),
+        ),
+    ];
+    println!("samplers: interleaved A/B, median ns/draw over {AB_ROUNDS} blocks of {AB_BLOCK}");
+    println!("| sampler | libm ref | tpv_math | ratio |");
+    println!("|---|---|---|---|");
+    for (name, (libm_ns, fast_ns)) in &table {
+        let ratio = if *fast_ns > 0.0 { libm_ns / fast_ns } else { 0.0 };
+        println!("| {name} | {libm_ns:.1} ns | {fast_ns:.1} ns | {ratio:.2}x |");
+    }
+    println!();
+
+    // The gated leg: one pass over every production sampler. events =
+    // total draws, so events/sec is the aggregate sampler draw rate.
+    const FAMILIES: u64 = 7;
+    time_scenario("samplers", trials, || {
+        let mut rng = tpv_sim::SimRng::seed_from_u64(SEED);
+        let mut acc = 0.0;
+        for _ in 0..SAMPLER_DRAWS {
+            acc += exp.sample(&mut rng);
+            acc += norm.sample(&mut rng);
+            acc += lnorm.sample(&mut rng);
+            acc += pareto.sample(&mut rng);
+            acc += gpd.sample(&mut rng);
+            acc += gev.sample(&mut rng);
+            acc += zipf.sample(&mut rng);
+        }
+        black_box(acc);
+        (FAMILIES * SAMPLER_DRAWS as u64, SAMPLER_DRAWS as u64)
+    })
 }
 
 fn memcached() -> ServiceConfig {
@@ -382,11 +515,11 @@ fn dual_timed(parallel: ScenarioReport, serial: ScenarioReport) -> ScenarioRepor
     let (sp_low, sp_high) =
         speedup_ci(&serial.wall_ms_trials, &parallel.wall_ms_trials).unwrap_or((0.0, 0.0));
     ScenarioReport {
-        wall_ms_serial: serial.wall_ms_median,
+        wall_ms_serial: Some(serial.wall_ms_median),
         speedup_vs_serial: if parallel.wall_ms_median > 0.0 {
-            serial.wall_ms_median / parallel.wall_ms_median
+            Some(serial.wall_ms_median / parallel.wall_ms_median)
         } else {
-            0.0
+            None
         },
         events_per_sec: serial.events_per_sec,
         events_per_sec_ci_low: serial.events_per_sec_ci_low,
@@ -513,6 +646,7 @@ fn main() -> ExitCode {
     // fleet_1m's flat-memory gate compares its monotonic VmHWM reading
     // against the one taken right after fleet_256.
     let matrix: Vec<(&str, ScenarioFn)> = vec![
+        ("samplers", samplers),
         ("static_1x1", static_1x1),
         ("fleet_16", fleet_16),
         ("diurnal_8", diurnal_8),
@@ -555,10 +689,9 @@ fn main() -> ExitCode {
     );
     println!("|---|---|---|---|---|---|---|---|---|");
     for s in &scenarios {
-        let speedup = if s.speedup_vs_serial > 0.0 {
-            format!("{:.2}x ({:.1} ms serial)", s.speedup_vs_serial, s.wall_ms_serial)
-        } else {
-            "-".to_string()
+        let speedup = match (s.speedup_vs_serial, s.wall_ms_serial) {
+            (Some(sp), Some(serial)) => format!("{sp:.2}x ({serial:.1} ms serial)"),
+            _ => "-".to_string(),
         };
         println!(
             "| {} | {} | {} | {:.2} | {:.3} | {} | {:.2}M | {} | {speedup} |",
@@ -573,7 +706,12 @@ fn main() -> ExitCode {
         );
     }
 
-    let report = BenchReport { schema: SCHEMA.to_string(), quick: opts.quick, scenarios };
+    let report = BenchReport {
+        schema: SCHEMA.to_string(),
+        quick: opts.quick,
+        runner: RunnerInfo::detect(),
+        scenarios,
+    };
     let mut failed = false;
 
     // The flat-memory gate: a million cohort-compressed clients may not
@@ -617,10 +755,11 @@ fn main() -> ExitCode {
         // parallel trial cannot carry a failing run — and a single
         // descheduled one cannot sink a passing run either, because the
         // CI is bootstrapped from the IQR-filtered trials.
+        let point = s.speedup_vs_serial.unwrap_or(0.0);
         let (gated, basis) = if s.speedup_ci_low > 0.0 {
-            (s.speedup_ci_low, format!("95% CI lower bound, point {:.2}x", s.speedup_vs_serial))
+            (s.speedup_ci_low, format!("95% CI lower bound, point {point:.2}x"))
         } else {
-            (s.speedup_vs_serial, "point estimate, too few trials for a CI".to_string())
+            (point, "point estimate, too few trials for a CI".to_string())
         };
         if gated < required {
             failed = true;

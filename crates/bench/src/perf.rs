@@ -29,13 +29,22 @@
 //! so the shard-scaling gate can bind on the CI lower bound instead of a
 //! point estimate — and the peak-RSS reading is per-scenario where the
 //! kernel supports resetting `VmHWM` (see `tpv_bench::rss`).
+//!
+//! Schema 5 makes the dual-timed fields honest and the report
+//! self-describing: `wall_ms_serial` and `speedup_vs_serial` are `null`
+//! for scenarios that never ran a serial leg (schema ≤ 4 wrote a
+//! meaningless `0.0` a reader could mistake for a measurement), and
+//! every report carries a [`RunnerInfo`] fingerprint — CPU model
+//! string, core count, kernel release — so a baseline diff can tell
+//! "the kernel regressed" apart from "CI landed on a different runner
+//! class".
 
 use std::fmt::Write as _;
 
 use tpv_sim::SimRng;
 
 /// Schema identifier written into every report.
-pub const SCHEMA: &str = "tpv-perf/4";
+pub const SCHEMA: &str = "tpv-perf/5";
 
 /// Warn (but do not fail) when events/sec falls below `baseline / WARN`.
 pub const WARN_FACTOR: f64 = 1.25;
@@ -60,13 +69,13 @@ pub struct ScenarioReport {
     /// Events dispatched per wall second, at the median trial.
     pub events_per_sec: f64,
     /// Median wall-clock time of the same run forced serial, in
-    /// milliseconds — `0.0` for scenarios that are not dual-timed.
-    /// Only the sharded scenarios execute twice (parallel and serial)
-    /// to measure intra-run scaling.
-    pub wall_ms_serial: f64,
+    /// milliseconds — `None` (serialized `null`) for scenarios that are
+    /// not dual-timed. Only the sharded scenarios execute twice
+    /// (parallel and serial) to measure intra-run scaling.
+    pub wall_ms_serial: Option<f64>,
     /// `wall_ms_serial / wall_ms_median` — the intra-run parallel
-    /// speedup; `0.0` when not dual-timed.
-    pub speedup_vs_serial: f64,
+    /// speedup; `None` (serialized `null`) when not dual-timed.
+    pub speedup_vs_serial: Option<f64>,
     /// Kernel runs per timed trial. Short scenarios are repeated until a
     /// trial spends at least ~50 ms on the clock; all `wall_ms_*` values
     /// are already divided down to per-run milliseconds.
@@ -105,6 +114,45 @@ pub struct ScenarioReport {
     pub speedup_ci_high: f64,
 }
 
+/// Fingerprint of the machine a report was measured on.
+///
+/// Wall-clock numbers are only comparable between runs of the same
+/// runner class; the fingerprint travels with the report so a baseline
+/// diff can surface "different machine" as the likely cause of a swing
+/// instead of blaming the kernel. Informational: [`compare`] does not
+/// gate on it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunnerInfo {
+    /// CPU model string (`model name` from `/proc/cpuinfo`), or
+    /// `"unknown"` where the platform does not expose it.
+    pub cpu_model: String,
+    /// Logical cores available to the process.
+    pub cores: usize,
+    /// Kernel release (`/proc/sys/kernel/osrelease`), or `"unknown"`.
+    pub kernel: String,
+}
+
+impl RunnerInfo {
+    /// Reads the fingerprint of the current machine. Every field
+    /// degrades to a harmless default off Linux — the schema stays
+    /// writable everywhere the probe compiles.
+    pub fn detect() -> RunnerInfo {
+        let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|text| {
+                text.lines()
+                    .find(|l| l.starts_with("model name"))
+                    .and_then(|l| l.split_once(':').map(|(_, v)| v.trim().to_string()))
+            })
+            .unwrap_or_else(|| "unknown".to_string());
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+        let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|_| "unknown".to_string());
+        RunnerInfo { cpu_model, cores, kernel }
+    }
+}
+
 /// The full probe output: what `BENCH.json` holds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -112,6 +160,8 @@ pub struct BenchReport {
     pub schema: String,
     /// True when the probe ran in `--quick` (CI) mode.
     pub quick: bool,
+    /// The machine this report was measured on.
+    pub runner: RunnerInfo,
     /// One entry per scenario, in matrix order.
     pub scenarios: Vec<ScenarioReport>,
 }
@@ -124,6 +174,11 @@ impl BenchReport {
         out.push_str("{\n");
         let _ = writeln!(out, "  \"schema\": \"{}\",", self.schema);
         let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        out.push_str("  \"runner\": {\n");
+        let _ = writeln!(out, "    \"cpu_model\": \"{}\",", json::escape(&self.runner.cpu_model));
+        let _ = writeln!(out, "    \"cores\": {},", self.runner.cores);
+        let _ = writeln!(out, "    \"kernel\": \"{}\"", json::escape(&self.runner.kernel));
+        out.push_str("  },\n");
         out.push_str("  \"scenarios\": [\n");
         for (i, s) in self.scenarios.iter().enumerate() {
             out.push_str("    {\n");
@@ -134,8 +189,8 @@ impl BenchReport {
             let _ = writeln!(out, "      \"wall_ms_median\": {:.4},", s.wall_ms_median);
             let _ = writeln!(out, "      \"wall_ms_cov\": {:.4},", s.wall_ms_cov);
             let _ = writeln!(out, "      \"events_per_sec\": {:.1},", s.events_per_sec);
-            let _ = writeln!(out, "      \"wall_ms_serial\": {:.4},", s.wall_ms_serial);
-            let _ = writeln!(out, "      \"speedup_vs_serial\": {:.4},", s.speedup_vs_serial);
+            let _ = writeln!(out, "      \"wall_ms_serial\": {},", json::opt_num(s.wall_ms_serial, 4));
+            let _ = writeln!(out, "      \"speedup_vs_serial\": {},", json::opt_num(s.speedup_vs_serial, 4));
             let _ = writeln!(out, "      \"repeats\": {},", s.repeats);
             let _ = writeln!(out, "      \"peak_rss_kb\": {},", s.peak_rss_kb);
             let trials: Vec<String> = s.wall_ms_trials.iter().map(|t| format!("{t:.4}")).collect();
@@ -164,6 +219,12 @@ impl BenchReport {
             return Err(format!("schema mismatch: report is '{schema}', this binary reads '{SCHEMA}'"));
         }
         let quick = json::get_bool(obj, "quick")?;
+        let runner_obj = json::get(obj, "runner")?.as_object().ok_or("'runner' must be an object")?;
+        let runner = RunnerInfo {
+            cpu_model: json::get_str(runner_obj, "cpu_model")?.to_string(),
+            cores: json::get_f64(runner_obj, "cores")? as usize,
+            kernel: json::get_str(runner_obj, "kernel")?.to_string(),
+        };
         let raw = json::get(obj, "scenarios")?.as_array().ok_or("'scenarios' must be an array")?;
         let mut scenarios = Vec::with_capacity(raw.len());
         for entry in raw {
@@ -176,8 +237,8 @@ impl BenchReport {
                 wall_ms_median: json::get_f64(s, "wall_ms_median")?,
                 wall_ms_cov: json::get_f64(s, "wall_ms_cov")?,
                 events_per_sec: json::get_f64(s, "events_per_sec")?,
-                wall_ms_serial: json::get_f64(s, "wall_ms_serial")?,
-                speedup_vs_serial: json::get_f64(s, "speedup_vs_serial")?,
+                wall_ms_serial: json::get_opt_f64(s, "wall_ms_serial")?,
+                speedup_vs_serial: json::get_opt_f64(s, "speedup_vs_serial")?,
                 repeats: json::get_f64(s, "repeats")? as usize,
                 peak_rss_kb: json::get_f64(s, "peak_rss_kb")? as u64,
                 wall_ms_trials: json::get_f64_array(s, "wall_ms_trials")?,
@@ -188,7 +249,7 @@ impl BenchReport {
                 speedup_ci_high: json::get_f64(s, "speedup_ci_high")?,
             });
         }
-        Ok(BenchReport { schema: schema.to_string(), quick, scenarios })
+        Ok(BenchReport { schema: schema.to_string(), quick, runner, scenarios })
     }
 
     /// The scenario named `name`, if present.
@@ -485,10 +546,9 @@ pub fn summary_markdown(current: &BenchReport, baseline: Option<(&BenchReport, f
             }
             _ => ("n/a".to_string(), "—"),
         };
-        let speedup = if s.speedup_vs_serial > 0.0 {
-            format!("{:.2}x ({:.1} ms serial)", s.speedup_vs_serial, s.wall_ms_serial)
-        } else {
-            "—".to_string()
+        let speedup = match (s.speedup_vs_serial, s.wall_ms_serial) {
+            (Some(sp), Some(serial)) => format!("{sp:.2}x ({serial:.1} ms serial)"),
+            _ => "—".to_string(),
         };
         let _ = writeln!(
             out,
@@ -568,6 +628,43 @@ mod json {
                 other => Err(format!("'{key}' entries must be numbers, got {other:?}")),
             })
             .collect()
+    }
+
+    /// Reads an optional number: `null` (or an absent key) is `None`.
+    /// The absent-key case keeps hand-trimmed reports parseable; the
+    /// schema writer always emits the key.
+    pub fn get_opt_f64(obj: &[(String, Value)], key: &str) -> Result<Option<f64>, String> {
+        match get(obj, key) {
+            Err(_) => Ok(None),
+            Ok(Value::Null) => Ok(None),
+            Ok(Value::Num(n)) => Ok(Some(*n)),
+            Ok(other) => Err(format!("'{key}' must be a number or null, got {other:?}")),
+        }
+    }
+
+    /// Renders an optional number as JSON: `null` or a fixed-precision
+    /// literal.
+    pub fn opt_num(value: Option<f64>, decimals: usize) -> String {
+        match value {
+            None => "null".to_string(),
+            Some(v) => format!("{v:.decimals$}"),
+        }
+    }
+
+    /// Escapes a string for embedding in a JSON literal (the subset the
+    /// reader above understands: backslash, quote, newline, tab).
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                other => out.push(other),
+            }
+        }
+        out
     }
 
     pub fn get_bool(obj: &[(String, Value)], key: &str) -> Result<bool, String> {
@@ -722,6 +819,11 @@ mod tests {
         BenchReport {
             schema: SCHEMA.to_string(),
             quick: true,
+            runner: RunnerInfo {
+                cpu_model: "Test CPU \"quoted\" model".to_string(),
+                cores: 8,
+                kernel: "6.0.0-test".to_string(),
+            },
             scenarios: vec![
                 ScenarioReport {
                     name: "static_1x1".to_string(),
@@ -731,8 +833,8 @@ mod tests {
                     wall_ms_median: 3.25,
                     wall_ms_cov: 0.021,
                     events_per_sec: 10_082_461.5,
-                    wall_ms_serial: 0.0,
-                    speedup_vs_serial: 0.0,
+                    wall_ms_serial: None,
+                    speedup_vs_serial: None,
                     repeats: 16,
                     peak_rss_kb: 14_200,
                     wall_ms_trials: vec![3.21, 3.25, 3.30, 3.24, 3.27],
@@ -750,8 +852,8 @@ mod tests {
                     wall_ms_median: 42.5,
                     wall_ms_cov: 0.013,
                     events_per_sec: 11_764_705.9,
-                    wall_ms_serial: 160.1,
-                    speedup_vs_serial: 3.7671,
+                    wall_ms_serial: Some(160.1),
+                    speedup_vs_serial: Some(3.7671),
                     repeats: 2,
                     peak_rss_kb: 18_944,
                     wall_ms_trials: vec![42.1, 42.5, 43.0, 42.4, 42.9],
@@ -771,6 +873,7 @@ mod tests {
         let parsed = BenchReport::from_json(&report.to_json()).expect("round trip");
         assert_eq!(parsed.schema, report.schema);
         assert_eq!(parsed.quick, report.quick);
+        assert_eq!(parsed.runner, report.runner, "runner fingerprint must round-trip (incl. escapes)");
         assert_eq!(parsed.scenarios.len(), 2);
         for (a, b) in parsed.scenarios.iter().zip(&report.scenarios) {
             assert_eq!(a.name, b.name);
@@ -778,8 +881,14 @@ mod tests {
             assert_eq!(a.requests, b.requests);
             assert!((a.wall_ms_median - b.wall_ms_median).abs() < 1e-3);
             assert!((a.events_per_sec - b.events_per_sec).abs() < 1.0);
-            assert!((a.wall_ms_serial - b.wall_ms_serial).abs() < 1e-3);
-            assert!((a.speedup_vs_serial - b.speedup_vs_serial).abs() < 1e-3);
+            match (a.wall_ms_serial, b.wall_ms_serial) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-3),
+                (x, y) => assert_eq!(x, y, "serial wall None-ness must round-trip"),
+            }
+            match (a.speedup_vs_serial, b.speedup_vs_serial) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-3),
+                (x, y) => assert_eq!(x, y, "speedup None-ness must round-trip"),
+            }
             assert_eq!(a.repeats, b.repeats);
             assert_eq!(a.peak_rss_kb, b.peak_rss_kb);
             assert_eq!(a.wall_ms_trials.len(), b.wall_ms_trials.len());
@@ -842,8 +951,8 @@ mod tests {
             wall_ms_median: 1.0,
             wall_ms_cov: 0.0,
             events_per_sec: 10.0,
-            wall_ms_serial: 4.0,
-            speedup_vs_serial: 4.0,
+            wall_ms_serial: Some(4.0),
+            speedup_vs_serial: Some(4.0),
             repeats: 1,
             peak_rss_kb: 0,
             wall_ms_trials: vec![1.0, 1.1],
@@ -1027,8 +1136,8 @@ mod tests {
             wall_ms_median: 1.0,
             wall_ms_cov: 0.0,
             events_per_sec: 1.0,
-            wall_ms_serial: 0.0,
-            speedup_vs_serial: 0.0,
+            wall_ms_serial: None,
+            speedup_vs_serial: None,
             repeats: 1,
             peak_rss_kb: 0,
             wall_ms_trials: Vec::new(),

@@ -84,7 +84,7 @@
 //! ```
 
 use tpv_hw::MachineConfig;
-use tpv_loadgen::{ArrivalProcess, ClientSide, GeneratorSpec, LoopMode, PointOfMeasurement};
+use tpv_loadgen::{ArrivalProcess, ClientSide, GapBuffer, GeneratorSpec, LoopMode, PointOfMeasurement};
 use tpv_net::{Connection, Link, LinkConfig};
 use tpv_services::request::StageCtx;
 use tpv_services::{NodeConn, RequestDescriptor, ServiceConfig, ServiceInstance};
@@ -289,6 +289,10 @@ struct NodeState<'a> {
     conns: Vec<Connection>,
     arrivals: ArrivalProcess,
     arrival_rng: SimRng,
+    /// Batched pre-draws on the arrival stream. Safe because after the
+    /// start-stagger draws, `arrival_rng` feeds gaps and nothing else —
+    /// drawing ahead on it in the same order is bit-identical.
+    gap_buf: GapBuffer,
     client_rng: SimRng,
     net_rng: SimRng,
     /// `None` in the single-node legacy stream layout: descriptors then
@@ -367,6 +371,7 @@ impl<'a> NodeState<'a> {
             conns: (0..n_conns).map(Connection::new).collect(),
             arrivals: ArrivalProcess::new(node.generator.arrival, per_conn_gap),
             arrival_rng,
+            gap_buf: GapBuffer::new(),
             client_rng,
             net_rng,
             desc_rng,
@@ -402,6 +407,9 @@ impl<'a> NodeState<'a> {
         if let Some(rate) = &dy.rate {
             if rate.multiplier(phase) != rate.multiplier(phase - 1) {
                 self.arrivals = self.phase_arrivals[phase];
+                // Pre-drawn gaps take their meaning from the process in
+                // effect at consumption: re-transform the buffered tail.
+                self.gap_buf.reconfigure(&self.arrivals);
             }
         }
         if let Some(links) = &dy.links {
@@ -993,7 +1001,7 @@ fn run_partition<C: Collector>(
                     );
                     queue.schedule(arrival, Event::ServerArrival { req });
                     if st.loop_mode == LoopMode::Open {
-                        let next = now + st.arrivals.next_gap(&mut st.arrival_rng);
+                        let next = now + st.gap_buf.next_gap(&st.arrivals, &mut st.arrival_rng);
                         if next < window_end {
                             queue.schedule(next, Event::SendDue { node, conn });
                         }

@@ -164,9 +164,125 @@ impl ArrivalProcess {
         }
     }
 
+    /// Raw `[0, 1)` uniforms one gap draw consumes: 1 (exponential),
+    /// 2 (log-normal Box–Muller pair) or 0 (deterministic pacing draws
+    /// nothing). The batch layer ([`GapBuffer`]) sizes its pre-draws by
+    /// this, and the draw-count conservation tests pin it.
+    pub fn uniforms_per_gap(&self) -> usize {
+        match self.sampler {
+            GapSampler::Exponential(_) => 1,
+            GapSampler::Deterministic => 0,
+            GapSampler::LogNormal(_) => 2,
+        }
+    }
+
+    /// Transforms exactly [`uniforms_per_gap`](Self::uniforms_per_gap)
+    /// pre-drawn raw uniforms into a gap — the identical arithmetic
+    /// [`next_gap`](Self::next_gap) runs on freshly drawn uniforms, so
+    /// pre-drawing on the same stream in the same order is bit-identical
+    /// to sequential sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is shorter than `uniforms_per_gap()`.
+    pub fn gap_from_units(&self, units: &[f64]) -> SimDuration {
+        match &self.sampler {
+            GapSampler::Exponential(dist) => SimDuration::from_us_f64(dist.from_unit(units[0])),
+            GapSampler::Deterministic => self.mean_gap,
+            GapSampler::LogNormal(dist) => SimDuration::from_us_f64(dist.from_units(units[0], units[1])),
+        }
+    }
+
     /// The configured mean gap.
     pub fn mean_gap(&self) -> SimDuration {
         self.mean_gap
+    }
+}
+
+/// Gaps per [`GapBuffer`] refill batch.
+const GAP_BATCH: usize = 64;
+
+/// Batched pre-sampling of arrival gaps.
+///
+/// Pre-drawing the next `GAP_BATCH × uniforms_per_gap` uniforms on the
+/// arrival stream and transforming them in one contiguous loop is
+/// bit-identical to drawing per send — the stream order is unchanged,
+/// and [`ArrivalProcess::gap_from_units`] is the same arithmetic as
+/// [`ArrivalProcess::next_gap`] — but it amortizes RNG state updates
+/// and lets the polynomial kernels run over a flat buffer.
+///
+/// The buffer keeps the *raw* uniforms alongside the transformed gaps:
+/// when a phase boundary swaps the arrival process (a rate step changes
+/// the mean gap), [`reconfigure`](Self::reconfigure) re-transforms the
+/// unconsumed tail under the new process, which is exactly what scalar
+/// sampling would have produced at consumption time. The arrival *kind*
+/// of a node never changes across phases (only its mean), so the
+/// uniforms-per-gap stride is a per-node constant — asserted on every
+/// reconfigure.
+#[derive(Debug, Clone, Default)]
+pub struct GapBuffer {
+    raw: Vec<f64>,
+    gaps: Vec<SimDuration>,
+    cursor: usize,
+    filled: usize,
+}
+
+impl GapBuffer {
+    /// An empty buffer; the first [`next_gap`](Self::next_gap) fills it.
+    pub fn new() -> Self {
+        GapBuffer::default()
+    }
+
+    /// The next gap, from the buffer — refilling it with a batched
+    /// pre-draw when empty. Deterministic pacing consumes no uniforms
+    /// and bypasses the buffer entirely.
+    pub fn next_gap(&mut self, process: &ArrivalProcess, rng: &mut SimRng) -> SimDuration {
+        let stride = process.uniforms_per_gap();
+        if stride == 0 {
+            return process.next_gap(rng);
+        }
+        if self.cursor == self.filled {
+            self.refill(process, stride, rng);
+        }
+        let gap = self.gaps[self.cursor];
+        self.cursor += 1;
+        gap
+    }
+
+    /// Re-transforms the unconsumed tail after the arrival process
+    /// switched (phase boundary): already-drawn uniforms take their
+    /// meaning from the process in effect when the gap is *consumed*,
+    /// matching the scalar draw-at-send order exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new process draws a different number of uniforms
+    /// per gap — arrival kinds are per-node constants, so this would
+    /// mean the stream position has already diverged.
+    pub fn reconfigure(&mut self, process: &ArrivalProcess) {
+        if self.filled == 0 {
+            return;
+        }
+        let stride = process.uniforms_per_gap();
+        assert_eq!(
+            stride * self.filled,
+            self.raw.len(),
+            "arrival kind changed across a phase boundary; the gap buffer cannot re-map drawn uniforms"
+        );
+        for i in self.cursor..self.filled {
+            self.gaps[i] = process.gap_from_units(&self.raw[i * stride..(i + 1) * stride]);
+        }
+    }
+
+    fn refill(&mut self, process: &ArrivalProcess, stride: usize, rng: &mut SimRng) {
+        self.raw.resize(GAP_BATCH * stride, 0.0);
+        self.gaps.resize(GAP_BATCH, SimDuration::ZERO);
+        rng.fill_f64(&mut self.raw);
+        for (i, gap) in self.gaps.iter_mut().enumerate() {
+            *gap = process.gap_from_units(&self.raw[i * stride..(i + 1) * stride]);
+        }
+        self.cursor = 0;
+        self.filled = GAP_BATCH;
     }
 }
 
@@ -609,6 +725,48 @@ mod tests {
             let mean = total / n as f64;
             assert!((mean - 100.0).abs() < 3.0, "{kind:?}: mean {mean}");
             assert_eq!(p.mean_gap(), SimDuration::from_us(100));
+        }
+    }
+
+    #[test]
+    fn gap_buffer_is_bit_identical_to_scalar_draws() {
+        // Pre-drawing batches on the same stream must reproduce the
+        // scalar draw-per-send sequence exactly — the tentpole invariant
+        // of the batch layer.
+        for kind in [ArrivalKind::Exponential, ArrivalKind::LogNormal(0.4), ArrivalKind::Deterministic] {
+            let p = ArrivalProcess::new(kind, SimDuration::from_us(120));
+            let mut scalar_rng = SimRng::seed_from_u64(99);
+            let mut buf_rng = SimRng::seed_from_u64(99);
+            let mut buf = GapBuffer::new();
+            for i in 0..500 {
+                let want = p.next_gap(&mut scalar_rng);
+                let got = buf.next_gap(&p, &mut buf_rng);
+                assert_eq!(got, want, "{kind:?}: gap {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn gap_buffer_retransforms_across_a_rate_switch() {
+        // A phase boundary swaps the process mid-buffer; the unconsumed
+        // tail must come out as if each gap had been drawn scalar-wise
+        // under the process in effect at consumption time.
+        let p1 = ArrivalProcess::new(ArrivalKind::Exponential, SimDuration::from_us(100));
+        let p2 = ArrivalProcess::new(ArrivalKind::Exponential, SimDuration::from_us(25));
+        // Switch mid-batch (10 < GAP_BATCH) and at a batch boundary.
+        for (switch_at, total) in [(10usize, 100usize), (64, 200)] {
+            let mut scalar_rng = SimRng::seed_from_u64(7 + switch_at as u64);
+            let mut buf_rng = SimRng::seed_from_u64(7 + switch_at as u64);
+            let mut buf = GapBuffer::new();
+            for i in 0..total {
+                let (scalar_p, buf_p) = if i < switch_at { (&p1, &p1) } else { (&p2, &p2) };
+                if i == switch_at {
+                    buf.reconfigure(buf_p);
+                }
+                let want = scalar_p.next_gap(&mut scalar_rng);
+                let got = buf.next_gap(buf_p, &mut buf_rng);
+                assert_eq!(got, want, "switch@{switch_at}: gap {i} diverged");
+            }
         }
     }
 

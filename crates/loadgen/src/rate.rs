@@ -74,7 +74,10 @@ impl PhasedRate {
         let step = SimDuration::from_ns(period.as_ns() / steps as u64);
         assert!(!step.is_zero(), "diurnal period too short for {steps} steps");
         let mult = (0..steps)
-            .map(|k| 1.0 + amplitude * (std::f64::consts::TAU * (k as f64 + 0.5) / steps as f64).sin())
+            .map(|k| {
+                let angle = std::f64::consts::TAU * (k as f64 + 0.5) / steps as f64;
+                1.0 + amplitude * tpv_math::fast_sincos(angle).0
+            })
             .collect();
         PhasedRate::new(PhaseSchedule::stepped(step, steps), mult)
     }

@@ -169,7 +169,12 @@ impl WorkerPool {
         let due = self.interference.due_spikes_raw(worker, arrival);
         if !due.is_empty() {
             let logical_share = if smt_on { 0.75 } else { 1.0 };
-            let collision = (util * logical_share).powf(1.5).clamp(0.0, 1.0);
+            // x^1.5 as x·√x: both operations are IEEE-exact, so this is
+            // pinned like the polynomial kernels but correctly rounded
+            // (≤ ~1.5 ulp) and an order of magnitude cheaper than the
+            // exp(1.5·ln x) composition.
+            let x = util * logical_share;
+            let collision = (x * x.sqrt()).clamp(0.0, 1.0);
             for (t, len) in due {
                 let effective = len.scale(collision);
                 let effective = if smt_on { effective.scale(0.85) } else { effective };

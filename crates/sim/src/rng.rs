@@ -105,6 +105,18 @@ impl SimRng {
         1.0 - self.next_f64()
     }
 
+    /// Fills `out` with uniform `[0, 1)` draws, bit-identical to calling
+    /// [`next_f64`](Self::next_f64) `out.len()` times in order — bulk
+    /// generation moves no stream position and changes no value, it only
+    /// gives the compiler a contiguous loop to optimize. Pinned by a
+    /// property test in `tests/math_portability.rs`.
+    #[inline]
+    pub fn fill_f64(&mut self, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.next_f64();
+        }
+    }
+
     /// A uniform integer in `[0, bound)` using Lemire's rejection method.
     ///
     /// # Panics

@@ -4,6 +4,7 @@
 //! This facade crate re-exports the whole workspace; see the individual
 //! crates for details:
 //!
+//! * [`math`] — deterministic, platform-pinned transcendental kernels.
 //! * [`sim`] — discrete-event simulation substrate.
 //! * [`hw`] — hardware configuration knobs of Table II.
 //! * [`net`] — NIC/kernel/link timing models.
@@ -36,6 +37,7 @@
 pub use tpv_core as core;
 pub use tpv_hw as hw;
 pub use tpv_loadgen as loadgen;
+pub use tpv_math as math;
 pub use tpv_net as net;
 pub use tpv_services as services;
 pub use tpv_sim as sim;
